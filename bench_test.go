@@ -1,0 +1,407 @@
+// Benchmarks: one per paper table/figure (regenerating its measurement
+// kernel at per-iteration granularity) plus ablations for the design
+// decisions called out in DESIGN.md §4. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// The per-experiment benches measure the simulation machinery's
+// throughput (how fast this reproduction regenerates the paper's data);
+// domain metrics (miss ratios, overflow counts) are attached via
+// b.ReportMetric so regressions in *results*, not just speed, show up.
+package memories
+
+import (
+	"fmt"
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/coherence"
+	"memories/internal/core"
+	"memories/internal/host"
+	"memories/internal/sdram"
+	"memories/internal/simbase"
+	"memories/internal/tracefile"
+	"memories/internal/workload"
+	"memories/internal/workload/splash"
+)
+
+func benchCPUs() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7} }
+
+// --- Table 3: trace-driven C simulator vs the board ---
+
+func BenchmarkTable3TraceSim(b *testing.B) {
+	sim := simbase.MustNewTraceSim([]simbase.TraceNodeConfig{{
+		CPUs:     benchCPUs(),
+		Geometry: addr.MustGeometry(64*addr.MB, 128, 4),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}})
+	gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 1 * addr.GB, WriteFraction: 0.3, Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _ := gen.Next()
+		cmd := bus.Read
+		if ref.Write {
+			cmd = bus.RWITM
+		}
+		sim.Process(tracefile.Record{Addr: ref.Addr &^ 7, Cmd: cmd, SrcID: uint8(ref.CPU)})
+	}
+	b.ReportMetric(sim.NodeStats(0).MissRatio(), "missratio")
+}
+
+func BenchmarkTable3BoardSnoop(b *testing.B) {
+	board := core.MustNewBoard(SingleL3Board(64*MB, 4, 128))
+	gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 1 * addr.GB, WriteFraction: 0.3, Seed: 7})
+	cycle := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _ := gen.Next()
+		cmd := bus.Read
+		if ref.Write {
+			cmd = bus.RWITM
+		}
+		cycle += 48 // ~20% utilization arrival spacing
+		board.Snoop(&bus.Transaction{Cmd: cmd, Addr: ref.Addr, Size: 128, SrcID: ref.CPU, Cycle: cycle})
+	}
+	board.Flush()
+	b.ReportMetric(board.Node(0).MissRatio(), "missratio")
+}
+
+// --- Table 4: execution-driven simulation ---
+
+func BenchmarkTable4Augmint(b *testing.B) {
+	cfg := simbase.DefaultAugmintConfig()
+	cfg.WorkPerInstr = 400
+	aug, err := simbase.NewAugmint(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fft := splash.NewFFT(splash.FFTConfig{NumCPUs: 8, M: 16, Seed: 3})
+	b.ResetTimer()
+	aug.Run(fft, uint64(b.N))
+	if aug.Checksum() == 0 && b.N > 10 {
+		b.Fatal("interpreter work eliminated")
+	}
+}
+
+func BenchmarkTable4HostRealTime(b *testing.B) {
+	h := host.MustNew(host.DefaultConfig(), splash.NewFFT(splash.FFTConfig{NumCPUs: 8, M: 16, Seed: 3}))
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+	b.ReportMetric(h.EstimatedRuntimeSeconds(), "modelsec")
+}
+
+// --- Figures 8/9: database cache sweeps ---
+
+func benchHostBoard(b *testing.B, bcfg core.Config, gen workload.Generator) (*core.Board, *host.Host) {
+	b.Helper()
+	hcfg := host.DefaultConfig()
+	hcfg.L2Bytes = 1 * addr.MB
+	hcfg.L2Assoc = 1
+	board := core.MustNewBoard(bcfg)
+	h := host.MustNew(hcfg, gen)
+	h.Bus().Attach(board)
+	return board, h
+}
+
+func BenchmarkFig8MultiConfigSweep(b *testing.B) {
+	bcfg := MultiConfigBoard(benchCPUs(), 128, 8, 2*MB, 4*MB, 8*MB, 16*MB)
+	board, h := benchHostBoard(b, bcfg, workload.NewTPCC(workload.ScaledTPCCConfig(2048)))
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+	board.Flush()
+	b.ReportMetric(board.Node(3).MissRatio(), "missratio16MB")
+}
+
+func BenchmarkFig9FourNodePartition(b *testing.B) {
+	var nodes []core.NodeConfig
+	for n := 0; n < 4; n++ {
+		nodes = append(nodes, core.NodeConfig{
+			Name:     string(rune('a' + n)),
+			CPUs:     []int{n * 2, n*2 + 1},
+			Geometry: addr.MustGeometry(4*addr.MB, 128, 8),
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+		})
+	}
+	board, h := benchHostBoard(b, core.Config{Nodes: nodes}, workload.NewTPCC(workload.ScaledTPCCConfig(2048)))
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+	board.Flush()
+}
+
+// --- Figure 10: miss-ratio profiling with the journaling disturbance ---
+
+func BenchmarkFig10ProfiledRun(b *testing.B) {
+	gen := workload.WithDisturbance(
+		workload.NewTPCC(workload.ScaledTPCCConfig(2048)),
+		workload.DisturbanceConfig{PeriodRefs: 400_000, BurstRefs: 40_000, JournalBytes: 64 * addr.MB})
+	bcfg := SingleL3Board(64*MB, 8, 128)
+	bcfg.ProfileBucketCycles = 2_000_000
+	board, h := benchHostBoard(b, bcfg, gen)
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+	board.Flush()
+}
+
+// --- Tables 5/6: SPLASH2 kernels through the host ---
+
+func BenchmarkTable5SplashHost(b *testing.B) {
+	for _, name := range splash.Names() {
+		b.Run(name, func(b *testing.B) {
+			h := host.MustNew(host.DefaultConfig(), splash.New(name, splash.SizePaper, 8, 3))
+			b.ResetTimer()
+			h.Run(uint64(b.N))
+			st := h.Stats()
+			if st.Instructions > 0 {
+				b.ReportMetric(float64(st.L2Misses)/float64(st.Instructions)*1000, "missper1000instr")
+			}
+		})
+	}
+}
+
+func BenchmarkTable6ClassicSizes(b *testing.B) {
+	hcfg := host.DefaultConfig()
+	hcfg.L2Bytes = 1 * addr.MB
+	hcfg.L2Assoc = 4
+	h := host.MustNew(hcfg, splash.New(splash.NameOcean, splash.SizeClassic, 8, 3))
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+}
+
+// --- Figure 11: L3 sweep over a SPLASH2 kernel ---
+
+func BenchmarkFig11BarnesSweep(b *testing.B) {
+	hcfg := host.DefaultConfig()
+	hcfg.L1Bytes = 16 * addr.KB
+	hcfg.L2Bytes = 256 * addr.KB
+	bcfg := MultiConfigBoard(benchCPUs(), 128, 4, 512*KB, 1*MB, 2*MB, 4*MB)
+	board := core.MustNewBoard(bcfg)
+	h := host.MustNew(hcfg, splash.New(splash.NameBarnes, splash.SizeClassic, 8, 3))
+	h.Bus().Attach(board)
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+	board.Flush()
+}
+
+// --- Figure 12: multi-node intervention breakdown ---
+
+func BenchmarkFig12FMMTwoNode(b *testing.B) {
+	nodes := []core.NodeConfig{
+		{Name: "a", CPUs: []int{0, 1, 2, 3}, Geometry: addr.MustGeometry(64*addr.MB, 1024, 4), Policy: cache.LRU, Protocol: coherence.MESI()},
+		{Name: "b", CPUs: []int{4, 5, 6, 7}, Geometry: addr.MustGeometry(64*addr.MB, 1024, 4), Policy: cache.LRU, Protocol: coherence.MESI()},
+	}
+	board := core.MustNewBoard(core.Config{Nodes: nodes})
+	h := host.MustNew(host.DefaultConfig(), splash.New(splash.NameFMM, splash.SizeClassic, 8, 3))
+	h.Bus().Attach(board)
+	b.ResetTimer()
+	h.Run(uint64(b.N))
+	board.Flush()
+	v := board.Node(0)
+	if tot := v.SatL3 + v.SatModInt + v.SatShrInt + v.SatMemory; tot > 0 {
+		b.ReportMetric(float64(v.SatModInt+v.SatShrInt)/float64(tot), "interventionfrac")
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// AblationProtocolTables compares the three built-in protocols on one
+// write-heavy stream: protocol choice is data, so swapping tables costs
+// no code.
+func BenchmarkAblationProtocol(b *testing.B) {
+	for _, name := range []string{"msi", "mesi", "moesi"} {
+		b.Run(name, func(b *testing.B) {
+			nodes := []core.NodeConfig{
+				{Name: "a", CPUs: []int{0, 1, 2, 3}, Geometry: addr.MustGeometry(8*addr.MB, 128, 4), Policy: cache.LRU, Protocol: coherence.Builtin(name)},
+				{Name: "b", CPUs: []int{4, 5, 6, 7}, Geometry: addr.MustGeometry(8*addr.MB, 128, 4), Policy: cache.LRU, Protocol: coherence.Builtin(name)},
+			}
+			board := core.MustNewBoard(core.Config{Nodes: nodes})
+			gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 64 * addr.MB, WriteFraction: 0.4, Seed: 5})
+			cycle := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ref, _ := gen.Next()
+				cmd := bus.Read
+				if ref.Write {
+					cmd = bus.RWITM
+				}
+				cycle += 48
+				board.Snoop(&bus.Transaction{Cmd: cmd, Addr: ref.Addr, Size: 128, SrcID: ref.CPU, Cycle: cycle})
+			}
+			board.Flush()
+			wb := board.Counters().Value("nodea.writeback") + board.Counters().Value("nodeb.writeback")
+			b.ReportMetric(float64(wb)/float64(b.N), "writebacks/op")
+		})
+	}
+}
+
+// AblationBufferDepth sweeps the transaction-buffer depth under a bursty
+// arrival pattern and reports how often it would have overflowed — the
+// paper's 512 entries exist precisely to make this number zero at real
+// utilizations.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	for _, depth := range []int{16, 64, 512} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			bcfg := SingleL3Board(64*MB, 8, 128)
+			bcfg.BufferDepth = depth
+			board := core.MustNewBoard(bcfg)
+			rng := workload.NewRNG(9)
+			cycle := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Bursty: clumps of back-to-back ops, then a gap.
+				if i%64 < 48 {
+					cycle += 2
+				} else {
+					cycle += 180
+				}
+				board.Snoop(&bus.Transaction{Cmd: bus.Read, Addr: uint64(rng.Intn(1<<28)) &^ 127, Size: 128, SrcID: int(rng.Intn(8)), Cycle: cycle})
+			}
+			board.Flush()
+			b.ReportMetric(float64(board.Counters().Value("buffer.overflow"))/float64(b.N), "overflow/op")
+		})
+	}
+}
+
+// AblationReplacement compares the replacement policies on a skewed
+// stream.
+func BenchmarkAblationReplacement(b *testing.B) {
+	for _, pol := range []cache.Policy{cache.LRU, cache.PLRU, cache.FIFO, cache.Random} {
+		b.Run(pol.String(), func(b *testing.B) {
+			bcfg := SingleL3Board(8*MB, 8, 128)
+			bcfg.Nodes[0].Policy = pol
+			board := core.MustNewBoard(bcfg)
+			gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 64 * addr.MB, Seed: 5})
+			cycle := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ref, _ := gen.Next()
+				cycle += 48
+				board.Snoop(&bus.Transaction{Cmd: bus.Read, Addr: ref.Addr, Size: 128, SrcID: ref.CPU, Cycle: cycle})
+			}
+			board.Flush()
+			b.ReportMetric(board.Node(0).MissRatio(), "missratio")
+		})
+	}
+}
+
+// AblationInclusive quantifies the §3.4 passive (non-inclusive)
+// limitation: the same raw stream through a board-style passive L2+L3
+// model and an inclusive oracle, reporting the miss-ratio divergence.
+func BenchmarkAblationInclusive(b *testing.B) {
+	s := simbase.MustNewInclusiveSim(simbase.InclusiveConfig{
+		NumCPUs: 8,
+		L2:      addr.MustGeometry(64*addr.KB, 128, 2),
+		L3:      addr.MustGeometry(512*addr.KB, 128, 4),
+		Policy:  cache.LRU,
+	})
+	gen := workload.NewZipfian(workload.ZipfConfig{
+		NumCPUs: 8, FootprintByte: 16 * addr.MB, Skew: 1.4, Seed: 3,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _ := gen.Next()
+		s.Reference(ref.Addr&^127, ref.CPU)
+	}
+	b.ReportMetric(s.Stats().Divergence(), "divergence")
+}
+
+// AblationLockStep quantifies the cost of the board's lock-step design
+// (§3.1): a four-node lock-step board must wait for the slowest node's
+// SDRAM on every transaction, while four independent single-node boards
+// pace themselves. The metric is worst-case queue depth under the same
+// bursty stream — the pressure the 512-entry buffers absorb.
+func BenchmarkAblationLockStep(b *testing.B) {
+	mkNodes := func(n int) []core.NodeConfig {
+		var nodes []core.NodeConfig
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, core.NodeConfig{
+				Name:     string(rune('a' + i)),
+				CPUs:     benchCPUs(),
+				Geometry: addr.MustGeometry(int64(8<<i)*addr.MB, 128, 4),
+				Policy:   cache.LRU,
+				Protocol: coherence.MESI(),
+				Group:    i,
+			})
+		}
+		return nodes
+	}
+	feed := func(b *testing.B, boards []*core.Board) {
+		rng := workload.NewRNG(9)
+		cycle := uint64(0)
+		var maxDepth int
+		for i := 0; i < b.N; i++ {
+			if i%64 < 48 {
+				cycle += 3
+			} else {
+				cycle += 200
+			}
+			tx := bus.Transaction{Cmd: bus.Read, Addr: uint64(rng.Intn(1<<28)) &^ 127, Size: 128, SrcID: int(rng.Intn(8)), Cycle: cycle}
+			depth := 0
+			for _, board := range boards {
+				t := tx
+				board.Snoop(&t)
+				if d := board.PendingDepth(); d > depth {
+					depth = d
+				}
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		for _, board := range boards {
+			board.Flush()
+		}
+		b.ReportMetric(float64(maxDepth), "maxqueue")
+	}
+	b.Run("lockstep4", func(b *testing.B) {
+		board := core.MustNewBoard(core.Config{Nodes: mkNodes(4)})
+		b.ResetTimer()
+		feed(b, []*core.Board{board})
+	})
+	b.Run("freerunning4x1", func(b *testing.B) {
+		var boards []*core.Board
+		for i := 0; i < 4; i++ {
+			boards = append(boards, core.MustNewBoard(core.Config{Nodes: mkNodes(4)[i : i+1]}))
+		}
+		b.ResetTimer()
+		feed(b, boards)
+	})
+}
+
+// AblationSDRAMPacing compares tag-store timings: the stock 42%-of-bus
+// model against a hypothetical full-speed SDRAM, measuring queue pressure.
+func BenchmarkAblationSDRAMPacing(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  sdram.Config
+	}{
+		{"stock42pct", sdram.DefaultConfig()},
+		{"fullspeed", sdram.Config{Banks: 16, ChannelGap: 1, BankBusy: 2}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			bcfg := SingleL3Board(64*MB, 8, 128)
+			bcfg.Nodes[0].SDRAM = tc.cfg
+			board := core.MustNewBoard(bcfg)
+			rng := workload.NewRNG(9)
+			cycle := uint64(0)
+			var maxDepth int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%64 < 48 {
+					cycle += 2
+				} else {
+					cycle += 180
+				}
+				board.Snoop(&bus.Transaction{Cmd: bus.Read, Addr: uint64(rng.Intn(1<<28)) &^ 127, Size: 128, SrcID: int(rng.Intn(8)), Cycle: cycle})
+				if d := board.PendingDepth(); d > maxDepth {
+					maxDepth = d
+				}
+			}
+			board.Flush()
+			b.ReportMetric(float64(maxDepth), "maxqueue")
+		})
+	}
+}

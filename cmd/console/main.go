@@ -1,0 +1,103 @@
+// Command console is the interactive MemorIES console: it boots a
+// session (workload + host + board), runs traffic on demand, and offers
+// the full console command set (stats extraction, cache parameter
+// setting, protocol loading) plus a "run N" command to advance the
+// emulation — the software stand-in for watching a live host machine.
+//
+//	console -workload tpcc -l3 64MB
+//	> run 1000000
+//	> nodes
+//	> reprogram 0 size=256MB assoc=8
+//	> run 1000000
+//	> node 0
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memories"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "tpcc", "workload: tpcc, tpch, uniform, or a SPLASH2 kernel")
+		dbFactor = flag.Int64("db-factor", 2048, "database footprint divisor vs paper scale")
+		l3       = flag.String("l3", "64MB", "initial emulated cache size")
+		assoc    = flag.Int("assoc", 8, "initial associativity")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	size, err := memories.ParseSize(*l3)
+	if err != nil {
+		fatal(err)
+	}
+	var gen memories.Generator
+	switch *wl {
+	case "tpcc":
+		cfg := memories.ScaledTPCCConfig(*dbFactor)
+		cfg.Seed = *seed
+		gen = memories.NewTPCC(cfg)
+	case "tpch":
+		cfg := memories.ScaledTPCHConfig(*dbFactor)
+		cfg.Seed = *seed
+		gen = memories.NewTPCH(cfg)
+	case "uniform":
+		gen = memories.NewUniform(8, 150*memories.GB / *dbFactor, 0.3, *seed)
+	default:
+		gen = memories.NewSplash(*wl, "classic", 8, *seed)
+	}
+	if gen == nil {
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	bcfg := memories.SingleL3Board(size, *assoc, 128)
+	bcfg.ProfileBucketCycles = 2_000_000
+	s, err := memories.NewSession(memories.DefaultHostConfig(), bcfg, gen)
+	if err != nil {
+		fatal(err)
+	}
+	c := s.Console(os.Stdout)
+
+	fmt.Printf("MemorIES console — workload %s, board %s %d-way. Type 'help'; 'run <n>' advances the host.\n",
+		*wl, *l3, *assoc)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) > 0 && fields[0] == "run" {
+			n := uint64(1_000_000)
+			if len(fields) > 1 {
+				v, err := strconv.ParseUint(fields[1], 10, 64)
+				if err != nil {
+					fmt.Printf("error: bad count %q\n", fields[1])
+					continue
+				}
+				n = v
+			}
+			ran := s.Run(n)
+			fmt.Printf("ran %d references (bus utilization %.1f%%)\n", ran, s.Host.Bus().Utilization()*100)
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := c.Execute(line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "console:", err)
+	os.Exit(1)
+}

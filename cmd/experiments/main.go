@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments                 # run everything at the default scale
+//	experiments -run fig9       # one experiment (comma-separate for more)
+//	experiments -scale ci       # the fast preset the test suite uses
+//	experiments -scale paper    # the paper's own parameters (very long)
+//	experiments -parallel 4     # run up to 4 experiments concurrently
+//	experiments -list           # show available experiment IDs
+//	experiments -csv            # emit CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"memories/internal/experiments"
+)
+
+type outcome struct {
+	id      string
+	res     *experiments.Result
+	err     error
+	elapsed time.Duration
+}
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "experiment ID(s) to run, comma separated (default: all)")
+		scaleID  = flag.String("scale", "default", "scale preset: ci, default, paper")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiments running concurrently")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	scale, err := experiments.ParseScale(*scaleID)
+	if err != nil {
+		fatal(err)
+	}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+
+	ids := experiments.IDs()
+	if *runID != "" {
+		ids = strings.Split(*runID, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	// Run experiments concurrently (each is single-threaded and
+	// independent), bounded by a semaphore; report in stable order.
+	results := make([]outcome, len(ids))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			res, err := experiments.Run(id, scale)
+			results[i] = outcome{id: id, res: res, err: err, elapsed: time.Since(start)}
+		}(i, id)
+	}
+	wg.Wait()
+
+	failures := 0
+	for _, o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", o.id, o.err)
+			failures++
+			continue
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", o.res.ID, o.res.Title)
+			for _, t := range o.res.Tables {
+				fmt.Print(t.CSV())
+			}
+		} else {
+			fmt.Print(o.res.String())
+		}
+		fmt.Printf("(%s in %v)\n\n", o.res.ID, o.elapsed.Round(time.Millisecond))
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d experiment(s) failed", failures))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command memories runs one emulation session: a workload on the modeled
+// SMP host with the MemorIES board snooping its bus, then dumps the
+// board's statistics.
+//
+//	memories -workload tpcc -l3 256MB -assoc 8 -refs 5000000
+//	memories -workload fft -splash-size classic -l3 64MB -counters nodea
+//	memories -workload tpch -l3 64MB,256MB,1GB        # multi-config mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memories"
+	"memories/internal/hotspot"
+)
+
+func main() {
+	var (
+		wl         = flag.String("workload", "tpcc", "workload: tpcc, tpch, web, uniform, or a SPLASH2 kernel (fft, ocean, barnes, fmm, water)")
+		splashSize = flag.String("splash-size", "classic", "SPLASH2 problem size: paper, classic, test")
+		dbFactor   = flag.Int64("db-factor", 2048, "database footprint divisor vs paper scale (tpcc/tpch)")
+		l3         = flag.String("l3", "64MB", "emulated cache size(s), comma separated (up to 4 => multi-config mode)")
+		assoc      = flag.Int("assoc", 8, "emulated cache associativity")
+		line       = flag.Int64("line", 128, "emulated cache line size in bytes")
+		refs       = flag.Uint64("refs", 2_000_000, "workload references to run")
+		protocol   = flag.String("protocol", "mesi", "coherence protocol: msi, mesi, moesi")
+		protoFile  = flag.String("protocol-file", "", "load the protocol from a map file instead (see protocols/)")
+		counters   = flag.String("counters", "", "also dump counters with this prefix ('' = none, 'all' = everything)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		hotspots   = flag.Int("hotspots", 0, "also profile hot spots and print the top N pages (0 = off)")
+	)
+	flag.Parse()
+
+	gen := buildWorkload(*wl, *splashSize, *dbFactor, *seed)
+	if gen == nil {
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	var sizes []int64
+	for _, s := range strings.Split(*l3, ",") {
+		n, err := memories.ParseSize(s)
+		if err != nil {
+			fatal(err)
+		}
+		sizes = append(sizes, n)
+	}
+	bcfg := memories.MultiConfigBoard(cpus(8), *line, *assoc, sizes...)
+	for i := range bcfg.Nodes {
+		var tab *memories.ProtocolTable
+		if *protoFile != "" {
+			var err error
+			if tab, err = memories.LoadProtocolFile(*protoFile); err != nil {
+				fatal(err)
+			}
+		} else if tab = protocolTable(*protocol); tab == nil {
+			fatal(fmt.Errorf("unknown protocol %q", *protocol))
+		}
+		bcfg.Nodes[i].Protocol = tab
+	}
+
+	s, err := memories.NewSession(memories.DefaultHostConfig(), bcfg, gen)
+	if err != nil {
+		fatal(err)
+	}
+	var prof *hotspot.Profiler
+	if *hotspots > 0 {
+		cfg := hotspot.DefaultConfig()
+		cfg.Granularity = 4096 // page-level profiling
+		prof = hotspot.MustNew(cfg)
+		s.Host.Bus().Attach(prof)
+	}
+	ran := s.Run(*refs)
+
+	hs := s.Host.Stats()
+	fmt.Printf("workload   %s\n", *wl)
+	fmt.Printf("refs       %d (instructions %d)\n", ran, hs.Instructions)
+	fmt.Printf("bus        util %.1f%%, L2 miss ratio %.4f, castouts %d\n",
+		s.Host.Bus().Utilization()*100, ratio(hs.L2Misses, hs.Refs), hs.Castouts)
+	for i := 0; i < s.Board.NumNodes(); i++ {
+		v := s.Board.Node(i)
+		fmt.Printf("node %d     %s %s: refs %d, miss ratio %.4f (l3 %d, mod-int %d, shr-int %d, mem %d)\n",
+			i, v.Geometry, v.Protocol, v.Refs(), v.MissRatio(),
+			v.SatL3, v.SatModInt, v.SatShrInt, v.SatMemory)
+	}
+	if over := s.Board.Counters().Value("buffer.overflow"); over > 0 {
+		fmt.Printf("WARNING    transaction buffer overflowed %d times (bus too hot for the SDRAMs)\n", over)
+	}
+	if *counters != "" {
+		prefix := *counters
+		if prefix == "all" {
+			prefix = ""
+		}
+		fmt.Print(s.Board.Counters().Dump(prefix))
+	}
+	if prof != nil {
+		fmt.Printf("hot pages  (top %d of %d tracked, %.1f%% of bus traffic)\n",
+			*hotspots, prof.Tracked(), prof.Concentration(*hotspots)*100)
+		for _, bs := range prof.Top(*hotspots) {
+			fmt.Printf("  %#014x  reads %-9d writes %d\n", bs.Block, bs.Reads, bs.Writes)
+		}
+	}
+}
+
+func buildWorkload(name, splashSize string, dbFactor int64, seed uint64) memories.Generator {
+	switch name {
+	case "tpcc":
+		cfg := memories.ScaledTPCCConfig(dbFactor)
+		cfg.Seed = seed
+		return memories.NewTPCC(cfg)
+	case "tpch":
+		cfg := memories.ScaledTPCHConfig(dbFactor)
+		cfg.Seed = seed
+		return memories.NewTPCH(cfg)
+	case "web":
+		cfg := memories.ScaledWebConfig(dbFactor)
+		cfg.Seed = seed
+		return memories.NewWeb(cfg)
+	case "uniform":
+		footprint := 150 * memories.GB / dbFactor
+		if footprint < memories.MB {
+			footprint = memories.MB
+		}
+		return memories.NewUniform(8, footprint, 0.3, seed)
+	default:
+		return memories.NewSplash(name, splashSize, 8, seed)
+	}
+}
+
+func protocolTable(name string) *memories.ProtocolTable {
+	switch name {
+	case "msi":
+		return memories.MSI()
+	case "mesi":
+		return memories.MESI()
+	case "moesi":
+		return memories.MOESI()
+	}
+	return nil
+}
+
+func cpus(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memories:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command tracegen runs a workload on the modeled host with the board in
+// trace-collection mode (§2.3) and dumps the captured bus trace to a
+// file, ready for cmd/tracesim.
+//
+//	tracegen -workload tpcc -refs 2000000 -o tpcc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memories"
+	"memories/internal/core"
+	"memories/internal/host"
+	"memories/internal/workload"
+	"memories/internal/workload/splash"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "tpcc", "workload: tpcc, tpch, or a SPLASH2 kernel")
+		dbFactor = flag.Int64("db-factor", 2048, "database footprint divisor vs paper scale")
+		refs     = flag.Uint64("refs", 1_000_000, "workload references to run")
+		limit    = flag.Int("limit", 64<<20, "trace capture memory in records (board stock: 128Mi)")
+		out      = flag.String("o", "bus.trace", "output trace file")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var gen workload.Generator
+	switch *wl {
+	case "tpcc":
+		cfg := workload.ScaledTPCCConfig(*dbFactor)
+		cfg.Seed = *seed
+		gen = workload.NewTPCC(cfg)
+	case "tpch":
+		cfg := workload.ScaledTPCHConfig(*dbFactor)
+		cfg.Seed = *seed
+		gen = workload.NewTPCH(cfg)
+	default:
+		gen = splash.New(*wl, splash.SizeClassic, 8, *seed)
+	}
+	if gen == nil {
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	bcfg := memories.SingleL3Board(64*memories.MB, 8, 128)
+	bcfg.TraceCapacity = *limit
+	b, err := core.NewBoard(bcfg)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := host.New(host.DefaultConfig(), gen)
+	if err != nil {
+		fatal(err)
+	}
+	h.Bus().Attach(b)
+	h.Run(*refs)
+	b.Flush()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := b.Trace().Dump(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("captured %d bus references (%d dropped) from %d workload refs -> %s\n",
+		b.Trace().Len(), b.Trace().Dropped(), *refs, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

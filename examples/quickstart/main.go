@@ -1,0 +1,50 @@
+// Quickstart: plug the emulated MemorIES board into a modeled SMP running
+// an OLTP workload, let it snoop a few million bus references, and read
+// the emulated L3's statistics — the minimal end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"memories"
+)
+
+func main() {
+	// The workload: a TPC-C-like database scaled down 2048x from the
+	// paper's 150GB so the demo reaches steady state quickly.
+	gen := memories.NewTPCC(memories.ScaledTPCCConfig(2048))
+
+	// The board: one emulated 64MB 8-way L3 with 128-byte lines, shared
+	// by all eight host processors, running MESI.
+	board := memories.SingleL3Board(64*memories.MB, 8, 128)
+
+	// The host: the paper's 8-way 262MHz SMP with a 100MHz 6xx bus.
+	session, err := memories.NewSession(memories.DefaultHostConfig(), board, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run two million workload references. The board snoops passively:
+	// the "host" is unaware of it, exactly like the hardware.
+	const refs = 2_000_000
+	session.Run(refs)
+
+	v := session.Board.Node(0)
+	fmt.Printf("workload        %s\n", gen.Name())
+	fmt.Printf("host bus        %.1f%% utilized, %d castouts\n",
+		session.Host.Bus().Utilization()*100, session.Host.Stats().Castouts)
+	fmt.Printf("emulated cache  %s (%s)\n", v.Geometry, v.Protocol)
+	fmt.Printf("L3 references   %d\n", v.Refs())
+	fmt.Printf("L3 miss ratio   %.4f\n", v.MissRatio())
+	fmt.Printf("satisfied by    L3 %d | interventions %d | memory %d\n",
+		v.SatL3, v.SatModInt+v.SatShrInt, v.SatMemory)
+
+	// The console software view of the same run.
+	fmt.Println("\nconsole dump of the read/write counters:")
+	if err := session.Console(os.Stdout).Execute("stats nodea.read"); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module memories
+
+go 1.22

@@ -1,0 +1,220 @@
+package memories
+
+import (
+	"bytes"
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/cache"
+	"memories/internal/coherence"
+	"memories/internal/core"
+	"memories/internal/host"
+	"memories/internal/hotspot"
+	"memories/internal/numa"
+	"memories/internal/simbase"
+	"memories/internal/tracefile"
+	"memories/internal/workload"
+	"memories/internal/workload/splash"
+)
+
+// TestIntegrationCaptureReplayMatchesBoard exercises the full trace
+// pipeline: the board captures the bus stream it is emulating, the
+// capture is dumped to the on-disk format, and replaying that file
+// through the trace-driven simulator with the same cache configuration
+// reproduces the board's own statistics exactly. This is the off-line
+// analysis workflow of §2.3 closing the loop with §4.1's validation.
+func TestIntegrationCaptureReplayMatchesBoard(t *testing.T) {
+	bcfg := SingleL3Board(4*MB, 4, 128)
+	bcfg.TraceCapacity = 1 << 20
+	gen := NewTPCC(ScaledTPCCConfig(4096))
+	s, err := NewSession(DefaultHostConfig(), bcfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(150_000)
+	if s.Board.Trace().Dropped() != 0 {
+		t.Fatal("capture memory overflowed; grow TraceCapacity for this test")
+	}
+
+	var buf bytes.Buffer
+	if err := s.Board.Trace().Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := tracefile.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simbase.MustNewTraceSim([]simbase.TraceNodeConfig{{
+		CPUs:     []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Geometry: addr.MustGeometry(4*addr.MB, 128, 4),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}})
+	if _, err := sim.Run(r); err != nil {
+		t.Fatal(err)
+	}
+
+	bv, sv := s.Board.Node(0), sim.NodeStats(0)
+	if bv.ReadHit != sv.ReadHit || bv.ReadMiss != sv.ReadMiss ||
+		bv.WriteHit != sv.WriteHit || bv.WriteMiss != sv.WriteMiss {
+		t.Fatalf("replay diverged: board %+v vs replay %+v", bv, sv)
+	}
+}
+
+// TestIntegrationHotspotMode attaches the hot-spot profiler (the §2.3
+// FPGA reprogramming mode) to a live host and confirms it finds the OLTP
+// hot set.
+func TestIntegrationHotspotMode(t *testing.T) {
+	prof := hotspot.MustNew(hotspot.Config{Granularity: 4096, MaxBlocks: 1 << 20})
+	h := host.MustNew(host.DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	h.Bus().Attach(prof)
+	h.Run(200_000)
+	if prof.Total() == 0 {
+		t.Fatal("profiler saw nothing")
+	}
+	top := prof.Top(10)
+	if len(top) == 0 || top[0].Total() < 2 {
+		t.Fatalf("no hot pages found: %+v", top)
+	}
+	if c := prof.Concentration(100); c <= 0.01 {
+		t.Fatalf("OLTP concentration %.3f implausibly flat", c)
+	}
+}
+
+// TestIntegrationNUMAMode attaches the NUMA directory emulator to a live
+// host running the sharing-heavy FMM kernel and confirms remote traffic
+// and interventions appear.
+func TestIntegrationNUMAMode(t *testing.T) {
+	cfg := numa.Config{
+		HomeInterleaveBytes: 4 * addr.KB,
+		Directory:           addr.MustGeometry(1*addr.MB, 128, 4),
+	}
+	for n := 0; n < 4; n++ {
+		cfg.Nodes = append(cfg.Nodes, numa.NodeConfig{
+			CPUs:   []int{n * 2, n*2 + 1},
+			L3:     addr.MustGeometry(4*addr.MB, 128, 4),
+			Policy: cache.LRU,
+		})
+	}
+	emu := numa.MustNew(cfg)
+	hcfg := host.DefaultConfig()
+	hcfg.L2Bytes = 256 * addr.KB
+	h := host.MustNew(hcfg, splash.New(splash.NameFMM, splash.SizeClassic, 8, 3))
+	h.Bus().Attach(emu)
+	h.Run(300_000)
+
+	var local, remote, interv uint64
+	for n := 0; n < 4; n++ {
+		v := emu.Node(n)
+		local += v.Local
+		remote += v.Remote
+	}
+	interv = emu.Counters().Value("numa0.intervention.supplied") +
+		emu.Counters().Value("numa1.intervention.supplied") +
+		emu.Counters().Value("numa2.intervention.supplied") +
+		emu.Counters().Value("numa3.intervention.supplied")
+	if local == 0 || remote == 0 {
+		t.Fatalf("local=%d remote=%d: interleaving broken", local, remote)
+	}
+	// 4KB interleave over 4 nodes: ~3/4 of requests are remote.
+	frac := float64(remote) / float64(local+remote)
+	if frac < 0.5 || frac > 0.95 {
+		t.Fatalf("remote fraction %.2f implausible for 4-way interleave", frac)
+	}
+	if interv == 0 {
+		t.Fatal("FMM produced no NUMA interventions")
+	}
+}
+
+// TestIntegrationBoardAndNUMATogether runs both observers on one bus —
+// the board is passive, so observers compose freely.
+func TestIntegrationBoardAndNUMATogether(t *testing.T) {
+	board := core.MustNewBoard(SingleL3Board(8*MB, 4, 128))
+	prof := hotspot.MustNew(hotspot.DefaultConfig())
+	h := host.MustNew(host.DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	h.Bus().Attach(board)
+	h.Bus().Attach(prof)
+	h.Run(100_000)
+	board.Flush()
+	if board.Node(0).Refs() == 0 || prof.Total() == 0 {
+		t.Fatal("composed observers missed traffic")
+	}
+	// Both observers saw the same memory-op count.
+	boardOps := board.Counters().Value("filter.accepted")
+	if boardOps != prof.Total() {
+		t.Fatalf("board accepted %d vs profiler %d", boardOps, prof.Total())
+	}
+}
+
+// TestIntegrationRetryProtocolEndToEnd forces the board's overflow-retry
+// path (§3.3) against a live host: with a pathologically small
+// transaction buffer and RetryOnOverflow set, the board posts bus
+// retries, the processors back off and re-issue, and the run still
+// completes with consistent statistics. This is the one situation where
+// "the MemorIES board could alter system bus behavior" — which the test
+// also shows never happens with the stock 512-entry buffer.
+func TestIntegrationRetryProtocolEndToEnd(t *testing.T) {
+	run := func(depth int) (*core.Board, *host.Host) {
+		bcfg := SingleL3Board(8*MB, 4, 128)
+		bcfg.BufferDepth = depth
+		bcfg.RetryOnOverflow = true
+		board := core.MustNewBoard(bcfg)
+		hcfg := host.DefaultConfig()
+		hcfg.L2Bytes = 64 * addr.KB // hot bus
+		h := host.MustNew(hcfg, workload.NewUniform(workload.UniformConfig{
+			NumCPUs: 8, FootprintByte: 32 * addr.MB, WriteFraction: 0.3, Seed: 4,
+		}))
+		h.Bus().Attach(board)
+		if got := h.Run(150_000); got != 150_000 {
+			t.Fatalf("host stalled at %d refs", got)
+		}
+		board.Flush()
+		return board, h
+	}
+
+	// Stock buffer: passive, zero retries (the paper's lab experience).
+	board, h := run(core.DefaultBufferDepth)
+	if h.Stats().Retried != 0 || board.Counters().Value("buffer.retry-posted") != 0 {
+		t.Fatalf("stock buffer caused retries: host %d, board %d",
+			h.Stats().Retried, board.Counters().Value("buffer.retry-posted"))
+	}
+
+	// Pathological 2-entry buffer: retries happen, are honored, and the
+	// two sides agree on the count.
+	board, h = run(2)
+	if h.Stats().Retried == 0 {
+		t.Fatal("2-entry buffer never forced a retry")
+	}
+	if h.Stats().Retried != board.Counters().Value("buffer.retry-posted") {
+		t.Fatalf("retry accounting disagrees: host %d vs board %d",
+			h.Stats().Retried, board.Counters().Value("buffer.retry-posted"))
+	}
+}
+
+// TestIntegrationConsoleDrivenReconfiguration reproduces the dynamic
+// reprogramming workflow: measure, reprogram a bigger cache through the
+// console, measure again, and confirm the bigger cache misses less on the
+// same (deterministic) workload.
+func TestIntegrationConsoleDrivenReconfiguration(t *testing.T) {
+	run := func(setup []string) float64 {
+		gen := NewTPCC(ScaledTPCCConfig(4096))
+		s, err := NewSession(DefaultHostConfig(), SingleL3Board(2*MB, 4, 128), gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		c := s.Console(&out)
+		for _, cmd := range setup {
+			if err := c.Execute(cmd); err != nil {
+				t.Fatalf("%q: %v (output %s)", cmd, err, out.String())
+			}
+		}
+		s.Run(200_000)
+		return s.Board.Node(0).MissRatio()
+	}
+	small := run(nil)
+	big := run([]string{"reprogram 0 size=16MB assoc=8"})
+	if big >= small {
+		t.Fatalf("console-configured 16MB cache (%.4f) not better than 2MB (%.4f)", big, small)
+	}
+}

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"fmt"
+
+	"memories/internal/addr"
+)
+
+// StateInvalid is the reserved line state meaning "no line present". All
+// coherence protocols must map their invalid state to 0.
+const StateInvalid uint8 = 0
+
+// Config describes one cache structure.
+type Config struct {
+	Geometry addr.Geometry
+	Policy   Policy
+	// Seed initializes the Random replacement generator; ignored for the
+	// deterministic policies.
+	Seed uint64
+}
+
+// Stats counts structural cache events. Protocol-level classification
+// (read miss vs write miss, interventions, ...) belongs to the users of
+// the cache; these are the events the tag array itself can see.
+type Stats struct {
+	Probes      uint64 // lookups
+	Hits        uint64 // probe found a valid matching tag
+	Fills       uint64 // lines installed
+	Evictions   uint64 // valid lines displaced by fills
+	Invalidates uint64 // lines removed by explicit invalidation
+}
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Addr  uint64 // line-aligned address of the displaced line
+	State uint8  // its state at eviction time
+}
+
+// Cache is a set-associative tag/state array. It is not safe for
+// concurrent use; every user in this codebase drives it from a single
+// simulation loop.
+type Cache struct {
+	geom  addr.Geometry
+	tags  []uint64
+	state []uint8
+	repl  replacer
+	stats Stats
+}
+
+// New builds a cache from cfg. PLRU requires power-of-two associativity.
+func New(cfg Config) (*Cache, error) {
+	g := cfg.Geometry
+	if g.Sets == 0 {
+		return nil, fmt.Errorf("cache: zero geometry (use addr.NewGeometry)")
+	}
+	var r replacer
+	switch cfg.Policy {
+	case LRU:
+		r = newLRU(g.Sets, g.Assoc)
+	case PLRU:
+		if !addr.IsPow2(int64(g.Assoc)) {
+			return nil, fmt.Errorf("cache: PLRU requires power-of-two associativity, got %d", g.Assoc)
+		}
+		r = newPLRU(g.Sets, g.Assoc)
+	case FIFO:
+		r = newFIFO(g.Sets, g.Assoc)
+	case Random:
+		r = newRandom(g.Assoc, cfg.Seed)
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %v", cfg.Policy)
+	}
+	lines := g.Lines()
+	return &Cache{
+		geom:  g,
+		tags:  make([]uint64, lines),
+		state: make([]uint8, lines),
+		repl:  r,
+	}, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache geometry.
+func (c *Cache) Geometry() addr.Geometry { return c.geom }
+
+// Stats returns a copy of the structural statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the structural statistics without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// slot returns the flat index for (set, way).
+func (c *Cache) slot(set int64, way int) int64 { return set*int64(c.geom.Assoc) + int64(way) }
+
+// Probe looks a line up without modifying replacement state. It returns
+// the line's state (StateInvalid on miss).
+func (c *Cache) Probe(a uint64) uint8 {
+	set, tag := c.geom.Index(a), c.geom.Tag(a)
+	base := set * int64(c.geom.Assoc)
+	for w := 0; w < c.geom.Assoc; w++ {
+		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
+			return c.state[base+int64(w)]
+		}
+	}
+	return StateInvalid
+}
+
+// Access looks a line up as a demand reference: on hit it updates
+// replacement recency and returns the state; on miss it returns
+// StateInvalid. It counts a probe and, on success, a hit.
+func (c *Cache) Access(a uint64) uint8 {
+	c.stats.Probes++
+	set, tag := c.geom.Index(a), c.geom.Tag(a)
+	base := set * int64(c.geom.Assoc)
+	for w := 0; w < c.geom.Assoc; w++ {
+		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
+			c.stats.Hits++
+			c.repl.touch(set, w)
+			return c.state[base+int64(w)]
+		}
+	}
+	return StateInvalid
+}
+
+// SetState rewrites the state of a resident line (e.g. S -> M on upgrade,
+// M -> S on snoop). It reports whether the line was found. Setting
+// StateInvalid via SetState is rejected; use Invalidate.
+func (c *Cache) SetState(a uint64, s uint8) bool {
+	if s == StateInvalid {
+		panic("cache: SetState to invalid; use Invalidate")
+	}
+	set, tag := c.geom.Index(a), c.geom.Tag(a)
+	base := set * int64(c.geom.Assoc)
+	for w := 0; w < c.geom.Assoc; w++ {
+		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
+			c.state[base+int64(w)] = s
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs a line in state s, evicting a victim if the set is full.
+// It returns the victim (valid only when evicted is true). Filling a line
+// that is already resident updates its state in place and evicts nothing.
+func (c *Cache) Fill(a uint64, s uint8) (victim Victim, evicted bool) {
+	if s == StateInvalid {
+		panic("cache: Fill with invalid state")
+	}
+	set, tag := c.geom.Index(a), c.geom.Tag(a)
+	base := set * int64(c.geom.Assoc)
+	free := -1
+	for w := 0; w < c.geom.Assoc; w++ {
+		st := c.state[base+int64(w)]
+		if st != StateInvalid && c.tags[base+int64(w)] == tag {
+			c.state[base+int64(w)] = s
+			c.repl.touch(set, w)
+			return Victim{}, false
+		}
+		if st == StateInvalid && free < 0 {
+			free = w
+		}
+	}
+	way := free
+	if way < 0 {
+		way = c.repl.victim(set)
+		victim = Victim{
+			Addr:  c.geom.Rebuild(c.tags[base+int64(way)], set),
+			State: c.state[base+int64(way)],
+		}
+		evicted = true
+		c.stats.Evictions++
+	}
+	c.tags[base+int64(way)] = tag
+	c.state[base+int64(way)] = s
+	c.repl.fill(set, way)
+	c.stats.Fills++
+	return victim, evicted
+}
+
+// Invalidate removes a line if present, returning its prior state and
+// whether it was resident.
+func (c *Cache) Invalidate(a uint64) (prior uint8, found bool) {
+	set, tag := c.geom.Index(a), c.geom.Tag(a)
+	base := set * int64(c.geom.Assoc)
+	for w := 0; w < c.geom.Assoc; w++ {
+		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
+			prior = c.state[base+int64(w)]
+			c.state[base+int64(w)] = StateInvalid
+			c.stats.Invalidates++
+			return prior, true
+		}
+	}
+	return StateInvalid, false
+}
+
+// ValidCount returns the number of resident lines; used by occupancy
+// statistics and inclusion checks in tests.
+func (c *Cache) ValidCount() int64 {
+	var n int64
+	for _, s := range c.state {
+		if s != StateInvalid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every resident line with its line-aligned
+// address and state. Iteration order is set-major and must not be relied
+// upon beyond determinism.
+func (c *Cache) ForEachValid(fn func(lineAddr uint64, state uint8)) {
+	for set := int64(0); set < c.geom.Sets; set++ {
+		base := set * int64(c.geom.Assoc)
+		for w := 0; w < c.geom.Assoc; w++ {
+			if s := c.state[base+int64(w)]; s != StateInvalid {
+				fn(c.geom.Rebuild(c.tags[base+int64(w)], set), s)
+			}
+		}
+	}
+}
+
+// Clear invalidates every line (power-up initialization).
+func (c *Cache) Clear() {
+	for i := range c.state {
+		c.state[i] = StateInvalid
+	}
+}

@@ -1,0 +1,193 @@
+// Package cache implements the set-associative tag/state arrays used
+// everywhere in the emulator: the four emulated shared-cache directories
+// on the MemorIES board, the host's private L1/L2 caches, and the NUMA
+// sparse-directory and remote-cache structures.
+//
+// A Cache stores no data — exactly like the board, which keeps only tag,
+// state, and LRU information in its SDRAM (paper §3: "1GB of SDRAM memory
+// to implement the cache tag and state tables"). Line state is an opaque
+// byte owned by the coherence layer; state 0 always means invalid.
+package cache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects a replacement algorithm. The board's replacement
+// algorithm is one of its programmable cache attributes (paper §1).
+type Policy uint8
+
+const (
+	// LRU evicts the least recently used way (the board's default).
+	LRU Policy = iota
+	// PLRU is tree pseudo-LRU, cheaper in hardware than true LRU.
+	PLRU
+	// FIFO evicts the oldest-filled way regardless of use.
+	FIFO
+	// Random evicts a pseudo-randomly chosen way.
+	Random
+)
+
+// String returns the policy mnemonic.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PLRU:
+		return "plru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy parses a policy mnemonic (case insensitive).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "lru":
+		return LRU, nil
+	case "plru", "tree-plru":
+		return PLRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "random", "rand":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q", s)
+}
+
+// replacer tracks access recency/order for victim selection. Implementations
+// are indexed by (set, way) and must be allocation-free on the hot path.
+type replacer interface {
+	touch(set int64, way int) // on every access to a valid line
+	fill(set int64, way int)  // when a line is installed
+	victim(set int64) int     // which way to evict (only called on full sets)
+}
+
+// lruReplacer keeps a per-line monotonic use stamp; the victim is the way
+// with the smallest stamp.
+type lruReplacer struct {
+	assoc  int
+	clock  uint64
+	stamps []uint64
+}
+
+func newLRU(sets int64, assoc int) *lruReplacer {
+	return &lruReplacer{assoc: assoc, stamps: make([]uint64, sets*int64(assoc))}
+}
+
+func (r *lruReplacer) touch(set int64, way int) {
+	r.clock++
+	r.stamps[set*int64(r.assoc)+int64(way)] = r.clock
+}
+
+func (r *lruReplacer) fill(set int64, way int) { r.touch(set, way) }
+
+func (r *lruReplacer) victim(set int64) int {
+	base := set * int64(r.assoc)
+	best, bestStamp := 0, r.stamps[base]
+	for w := 1; w < r.assoc; w++ {
+		if s := r.stamps[base+int64(w)]; s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}
+
+// plruReplacer implements tree pseudo-LRU. Each set keeps assoc-1 tree bits
+// in a byte slice; associativity must be a power of two (validated by the
+// cache constructor for PLRU).
+type plruReplacer struct {
+	assoc int
+	bits  []uint8 // assoc-1 bits per set, packed one per byte for simplicity
+}
+
+func newPLRU(sets int64, assoc int) *plruReplacer {
+	return &plruReplacer{assoc: assoc, bits: make([]uint8, sets*int64(assoc-1))}
+}
+
+// touch walks the tree toward way, pointing every node away from it.
+func (r *plruReplacer) touch(set int64, way int) {
+	base := set * int64(r.assoc-1)
+	node, lo, hi := 0, 0, r.assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			r.bits[base+int64(node)] = 1 // next victim search goes right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			r.bits[base+int64(node)] = 0 // next victim search goes left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+func (r *plruReplacer) fill(set int64, way int) { r.touch(set, way) }
+
+// victim follows the tree bits: 0 means go left, 1 means go right.
+func (r *plruReplacer) victim(set int64) int {
+	base := set * int64(r.assoc-1)
+	node, lo, hi := 0, 0, r.assoc
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.bits[base+int64(node)] == 0 {
+			node = 2*node + 1
+			hi = mid
+		} else {
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// fifoReplacer evicts ways in fill order, ignoring touches.
+type fifoReplacer struct {
+	assoc int
+	next  []uint8 // per-set next victim pointer (assoc <= 255)
+}
+
+func newFIFO(sets int64, assoc int) *fifoReplacer {
+	return &fifoReplacer{assoc: assoc, next: make([]uint8, sets)}
+}
+
+func (r *fifoReplacer) touch(int64, int) {}
+
+func (r *fifoReplacer) fill(set int64, way int) {
+	// Advance the pointer only when the fill consumed the victim slot;
+	// out-of-order fills (into invalid ways) do not disturb rotation.
+	if int(r.next[set]) == way {
+		r.next[set] = uint8((way + 1) % r.assoc)
+	}
+}
+
+func (r *fifoReplacer) victim(set int64) int { return int(r.next[set]) }
+
+// randomReplacer picks victims with a xorshift64 generator so runs are
+// reproducible for a given seed.
+type randomReplacer struct {
+	assoc int
+	state uint64
+}
+
+func newRandom(assoc int, seed uint64) *randomReplacer {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &randomReplacer{assoc: assoc, state: seed}
+}
+
+func (r *randomReplacer) touch(int64, int) {}
+func (r *randomReplacer) fill(int64, int)  {}
+
+func (r *randomReplacer) victim(int64) int {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return int(r.state % uint64(r.assoc))
+}

@@ -1,0 +1,57 @@
+package coherence
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedProtocolFiles parses and validates every protocol map file
+// shipped in the repository's protocols/ directory — the artifacts a user
+// would load through the console's loadmap command.
+func TestShippedProtocolFiles(t *testing.T) {
+	files, err := filepath.Glob("../../protocols/*.map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected at least 4 shipped protocol files, found %v", files)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := ParseMapFile(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if err := tab.Validate(); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+		if tab.Name == "" {
+			t.Errorf("%s: unnamed protocol", path)
+		}
+	}
+}
+
+// TestShippedBuiltinsMatchFiles confirms the shipped msi/mesi/moesi files
+// are exactly the built-in tables (regenerate them with WriteMapFile if
+// the builtins change).
+func TestShippedBuiltinsMatchFiles(t *testing.T) {
+	for _, name := range []string{"msi", "mesi", "moesi"} {
+		data, err := os.ReadFile(filepath.Join("../../protocols", name+".map"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseMapFileString(string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tablesEqual(parsed, Builtin(name)) {
+			t.Errorf("protocols/%s.map out of date with the built-in table", name)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package coherence
+
+// Built-in protocol tables. These are the tables shipped with the board's
+// console software; experiments that need a custom protocol write a map
+// file instead (see mapfile.go).
+
+// MESI returns the standard four-state invalidation protocol used by the
+// emulated shared caches by default.
+func MESI() *Table {
+	t := &Table{Name: "mesi"}
+
+	// Local read.
+	t.Set(LocalRead, Invalid, SnoopNone, Exclusive, ActAllocate|ActFetchMemory)
+	t.Set(LocalRead, Invalid, SnoopShared, Shared, ActAllocate|ActFetchMemory)
+	t.Set(LocalRead, Invalid, SnoopModified, Shared, ActAllocate|ActFetchIntervention)
+	t.SetAllSnoops(LocalRead, Shared, Shared, 0)
+	t.SetAllSnoops(LocalRead, Exclusive, Exclusive, 0)
+	t.SetAllSnoops(LocalRead, Modified, Modified, 0)
+
+	// Local write (RWITM on miss, DClaim on shared hit).
+	t.Set(LocalWrite, Invalid, SnoopNone, Modified, ActAllocate|ActFetchMemory|ActInvalidateOthers)
+	t.Set(LocalWrite, Invalid, SnoopShared, Modified, ActAllocate|ActFetchMemory|ActInvalidateOthers)
+	t.Set(LocalWrite, Invalid, SnoopModified, Modified, ActAllocate|ActFetchIntervention|ActInvalidateOthers)
+	t.SetAllSnoops(LocalWrite, Shared, Modified, ActInvalidateOthers)
+	t.SetAllSnoops(LocalWrite, Exclusive, Modified, 0)
+	t.SetAllSnoops(LocalWrite, Modified, Modified, 0)
+
+	// Local castout: the L2 below pushed a dirty line into this cache.
+	t.SetAllSnoops(LocalCastout, Invalid, Modified, ActAllocate)
+	t.SetAllSnoops(LocalCastout, Shared, Modified, 0)
+	t.SetAllSnoops(LocalCastout, Exclusive, Modified, 0)
+	t.SetAllSnoops(LocalCastout, Modified, Modified, 0)
+
+	// Snoop read from another node.
+	t.SetAllSnoops(SnoopRead, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopRead, Shared, Shared, ActRespondShared)
+	t.SetAllSnoops(SnoopRead, Exclusive, Shared, ActRespondShared)
+	t.SetAllSnoops(SnoopRead, Modified, Shared, ActRespondModified|ActWriteback)
+
+	// Snoop write from another node.
+	t.SetAllSnoops(SnoopWrite, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Shared, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Exclusive, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Modified, Invalid, ActRespondModified)
+
+	// Snoop castout: another node wrote a line back; no state change here.
+	for st := 0; st < NumStates; st++ {
+		t.SetAllSnoops(SnoopCastout, State(st), State(st), 0)
+	}
+	return t
+}
+
+// MSI returns the three-state protocol: reads always allocate Shared, so
+// a first write to private data costs an extra upgrade. The MESI-vs-MSI
+// comparison is a natural use of the board's per-node protocol loading.
+func MSI() *Table {
+	t := &Table{Name: "msi"}
+
+	t.Set(LocalRead, Invalid, SnoopNone, Shared, ActAllocate|ActFetchMemory)
+	t.Set(LocalRead, Invalid, SnoopShared, Shared, ActAllocate|ActFetchMemory)
+	t.Set(LocalRead, Invalid, SnoopModified, Shared, ActAllocate|ActFetchIntervention)
+	t.SetAllSnoops(LocalRead, Shared, Shared, 0)
+	t.SetAllSnoops(LocalRead, Modified, Modified, 0)
+
+	t.Set(LocalWrite, Invalid, SnoopNone, Modified, ActAllocate|ActFetchMemory|ActInvalidateOthers)
+	t.Set(LocalWrite, Invalid, SnoopShared, Modified, ActAllocate|ActFetchMemory|ActInvalidateOthers)
+	t.Set(LocalWrite, Invalid, SnoopModified, Modified, ActAllocate|ActFetchIntervention|ActInvalidateOthers)
+	t.SetAllSnoops(LocalWrite, Shared, Modified, ActInvalidateOthers)
+	t.SetAllSnoops(LocalWrite, Modified, Modified, 0)
+
+	t.SetAllSnoops(LocalCastout, Invalid, Modified, ActAllocate)
+	t.SetAllSnoops(LocalCastout, Shared, Modified, 0)
+	t.SetAllSnoops(LocalCastout, Modified, Modified, 0)
+
+	t.SetAllSnoops(SnoopRead, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopRead, Shared, Shared, ActRespondShared)
+	t.SetAllSnoops(SnoopRead, Modified, Shared, ActRespondModified|ActWriteback)
+
+	t.SetAllSnoops(SnoopWrite, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Shared, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Modified, Invalid, ActRespondModified)
+
+	t.SetAllSnoops(SnoopCastout, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopCastout, Shared, Shared, 0)
+	t.SetAllSnoops(SnoopCastout, Modified, Modified, 0)
+	return t
+}
+
+// MOESI returns the five-state protocol: a dirty line snooped by a reader
+// moves to Owned and keeps supplying interventions instead of writing back
+// to memory. It models the "efficient cache-to-cache transfer
+// implementations" the paper recommends for FMM-like sharing-heavy
+// workloads (§5.3).
+func MOESI() *Table {
+	t := &Table{Name: "moesi"}
+
+	t.Set(LocalRead, Invalid, SnoopNone, Exclusive, ActAllocate|ActFetchMemory)
+	t.Set(LocalRead, Invalid, SnoopShared, Shared, ActAllocate|ActFetchMemory)
+	t.Set(LocalRead, Invalid, SnoopModified, Shared, ActAllocate|ActFetchIntervention)
+	t.SetAllSnoops(LocalRead, Shared, Shared, 0)
+	t.SetAllSnoops(LocalRead, Exclusive, Exclusive, 0)
+	t.SetAllSnoops(LocalRead, Modified, Modified, 0)
+	t.SetAllSnoops(LocalRead, Owned, Owned, 0)
+
+	t.Set(LocalWrite, Invalid, SnoopNone, Modified, ActAllocate|ActFetchMemory|ActInvalidateOthers)
+	t.Set(LocalWrite, Invalid, SnoopShared, Modified, ActAllocate|ActFetchMemory|ActInvalidateOthers)
+	t.Set(LocalWrite, Invalid, SnoopModified, Modified, ActAllocate|ActFetchIntervention|ActInvalidateOthers)
+	t.SetAllSnoops(LocalWrite, Shared, Modified, ActInvalidateOthers)
+	t.SetAllSnoops(LocalWrite, Exclusive, Modified, 0)
+	t.SetAllSnoops(LocalWrite, Modified, Modified, 0)
+	t.SetAllSnoops(LocalWrite, Owned, Modified, ActInvalidateOthers)
+
+	t.SetAllSnoops(LocalCastout, Invalid, Modified, ActAllocate)
+	t.SetAllSnoops(LocalCastout, Shared, Modified, 0)
+	t.SetAllSnoops(LocalCastout, Exclusive, Modified, 0)
+	t.SetAllSnoops(LocalCastout, Modified, Modified, 0)
+	t.SetAllSnoops(LocalCastout, Owned, Modified, 0)
+
+	t.SetAllSnoops(SnoopRead, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopRead, Shared, Shared, ActRespondShared)
+	t.SetAllSnoops(SnoopRead, Exclusive, Shared, ActRespondShared)
+	// The MOESI difference: dirty data stays dirty (Owned), supplied by
+	// intervention with no memory writeback.
+	t.SetAllSnoops(SnoopRead, Modified, Owned, ActRespondModified)
+	t.SetAllSnoops(SnoopRead, Owned, Owned, ActRespondModified)
+
+	t.SetAllSnoops(SnoopWrite, Invalid, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Shared, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Exclusive, Invalid, 0)
+	t.SetAllSnoops(SnoopWrite, Modified, Invalid, ActRespondModified)
+	t.SetAllSnoops(SnoopWrite, Owned, Invalid, ActRespondModified)
+
+	for st := 0; st < NumStates; st++ {
+		t.SetAllSnoops(SnoopCastout, State(st), State(st), 0)
+	}
+	return t
+}
+
+// Builtin returns the named built-in protocol table, or nil if unknown.
+func Builtin(name string) *Table {
+	switch name {
+	case "mesi":
+		return MESI()
+	case "msi":
+		return MSI()
+	case "moesi":
+		return MOESI()
+	}
+	return nil
+}

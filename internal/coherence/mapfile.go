@@ -1,0 +1,154 @@
+package coherence
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Map-file format. One directive per line, '#' comments, blank lines
+// ignored:
+//
+//	protocol <name>
+//	<op> <state> <snoop|*> -> <next-state> [action ...]
+//
+// '*' in the snoop column defines the transition for every snoop input
+// (and is how hit transitions, which do not depend on peers, are written).
+// Later lines override earlier ones, so a map file can start from a broad
+// wildcard and refine. This mirrors the FPGA "table lookup map file"
+// loaded at initialization (paper §3.2).
+
+// WriteMapFile serializes the table in map-file form. Runs of snoop inputs
+// with identical entries collapse to '*'.
+func WriteMapFile(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "protocol %s\n", t.Name)
+	fmt.Fprintf(bw, "# op state snoop -> next actions\n")
+	for op := 0; op < NumOps; op++ {
+		for st := 0; st < NumStates; st++ {
+			entries := t.entries[op][st]
+			defined := 0
+			for sn := 0; sn < NumSnoopIns; sn++ {
+				if entries[sn].defined {
+					defined++
+				}
+			}
+			if defined == 0 {
+				continue
+			}
+			allSame := defined == NumSnoopIns
+			for sn := 1; allSame && sn < NumSnoopIns; sn++ {
+				if entries[sn] != entries[0] {
+					allSame = false
+				}
+			}
+			if allSame {
+				e := entries[0]
+				fmt.Fprintf(bw, "%s %s * -> %s %s\n", Op(op), State(st), e.Next, e.Actions)
+				continue
+			}
+			for sn := 0; sn < NumSnoopIns; sn++ {
+				if e := entries[sn]; e.defined {
+					fmt.Fprintf(bw, "%s %s %s -> %s %s\n", Op(op), State(st), SnoopIn(sn), e.Next, e.Actions)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MapFileString returns the map-file text for t.
+func MapFileString(t *Table) string {
+	var sb strings.Builder
+	if err := WriteMapFile(&sb, t); err != nil {
+		// strings.Builder never errors; keep the API honest anyway.
+		panic(err)
+	}
+	return sb.String()
+}
+
+// ParseMapFile parses a protocol map file. The returned table is NOT
+// validated; callers decide whether to require Validate (the board's
+// console software does before loading a table into a node controller).
+func ParseMapFile(r io.Reader) (*Table, error) {
+	t := &Table{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.EqualFold(fields[0], "protocol") {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: protocol directive needs exactly one name", lineNo)
+			}
+			t.Name = fields[1]
+			continue
+		}
+		if err := parseTransition(t, fields); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.Name == "" {
+		return nil, fmt.Errorf("coherence: map file missing protocol directive")
+	}
+	return t, nil
+}
+
+func parseTransition(t *Table, fields []string) error {
+	// <op> <state> <snoop|*> -> <next> [action...]
+	if len(fields) < 5 {
+		return fmt.Errorf("transition needs at least 5 fields, got %d", len(fields))
+	}
+	if fields[3] != "->" {
+		return fmt.Errorf("expected '->' in fourth field, got %q", fields[3])
+	}
+	op, err := ParseOp(fields[0])
+	if err != nil {
+		return err
+	}
+	st, err := ParseState(fields[1])
+	if err != nil {
+		return err
+	}
+	next, err := ParseState(fields[4])
+	if err != nil {
+		return err
+	}
+	var actions Action
+	for _, f := range fields[5:] {
+		if f == "-" {
+			continue
+		}
+		a, err := ParseAction(f)
+		if err != nil {
+			return err
+		}
+		actions |= a
+	}
+	if fields[2] == "*" {
+		t.SetAllSnoops(op, st, next, actions)
+		return nil
+	}
+	sn, err := ParseSnoopIn(fields[2])
+	if err != nil {
+		return err
+	}
+	t.Set(op, st, sn, next, actions)
+	return nil
+}
+
+// ParseMapFileString parses a map file held in a string.
+func ParseMapFileString(s string) (*Table, error) {
+	return ParseMapFile(strings.NewReader(s))
+}

@@ -1,0 +1,223 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStateRoundTrip(t *testing.T) {
+	for s := State(0); int(s) < NumStates; s++ {
+		got, err := ParseState(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseState(%q) = %v,%v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseState("Q"); err == nil {
+		t.Error("ParseState accepted unknown state")
+	}
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	for o := Op(0); int(o) < NumOps; o++ {
+		got, err := ParseOp(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOp(%q) = %v,%v", o.String(), got, err)
+		}
+	}
+	if !LocalRead.IsLocal() || !LocalCastout.IsLocal() {
+		t.Error("local ops misclassified")
+	}
+	if SnoopRead.IsLocal() || SnoopCastout.IsLocal() {
+		t.Error("snoop ops misclassified")
+	}
+}
+
+func TestSnoopInRoundTrip(t *testing.T) {
+	for s := SnoopIn(0); int(s) < NumSnoopIns; s++ {
+		got, err := ParseSnoopIn(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSnoopIn(%q) = %v,%v", s.String(), got, err)
+		}
+	}
+}
+
+func TestStatePredicates(t *testing.T) {
+	if Invalid.IsValid() {
+		t.Error("Invalid.IsValid")
+	}
+	for _, s := range []State{Shared, Exclusive, Modified, Owned} {
+		if !s.IsValid() {
+			t.Errorf("%v.IsValid = false", s)
+		}
+	}
+	if !Modified.IsDirty() || !Owned.IsDirty() {
+		t.Error("dirty states misclassified")
+	}
+	if Shared.IsDirty() || Exclusive.IsDirty() || Invalid.IsDirty() {
+		t.Error("clean states misclassified")
+	}
+}
+
+func TestActionStringAndParse(t *testing.T) {
+	a := ActAllocate | ActFetchMemory
+	s := a.String()
+	if !strings.Contains(s, "allocate") || !strings.Contains(s, "fetch-memory") {
+		t.Fatalf("Action.String = %q", s)
+	}
+	if Action(0).String() != "-" {
+		t.Fatal("empty action should render as '-'")
+	}
+	got, err := ParseAction("invalidate-others")
+	if err != nil || got != ActInvalidateOthers {
+		t.Fatalf("ParseAction = %v,%v", got, err)
+	}
+	if _, err := ParseAction("explode"); err == nil {
+		t.Fatal("ParseAction accepted unknown action")
+	}
+}
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, name := range []string{"msi", "mesi", "moesi"} {
+		tab := Builtin(name)
+		if tab == nil {
+			t.Fatalf("Builtin(%q) = nil", name)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if Builtin("nope") != nil {
+		t.Error("Builtin accepted unknown name")
+	}
+}
+
+func TestBuiltinStateSets(t *testing.T) {
+	cases := []struct {
+		tab  *Table
+		want []State
+	}{
+		{MSI(), []State{Invalid, Shared, Modified}},
+		{MESI(), []State{Invalid, Shared, Exclusive, Modified}},
+		{MOESI(), []State{Invalid, Shared, Exclusive, Modified, Owned}},
+	}
+	for _, c := range cases {
+		got := c.tab.States()
+		if len(got) != len(c.want) {
+			t.Errorf("%s uses states %v, want %v", c.tab.Name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s uses states %v, want %v", c.tab.Name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMESIKeyTransitions(t *testing.T) {
+	tab := MESI()
+	cases := []struct {
+		op       Op
+		cur      State
+		snoop    SnoopIn
+		wantNext State
+		wantActs Action
+	}{
+		{LocalRead, Invalid, SnoopNone, Exclusive, ActAllocate | ActFetchMemory},
+		{LocalRead, Invalid, SnoopShared, Shared, ActAllocate | ActFetchMemory},
+		{LocalRead, Invalid, SnoopModified, Shared, ActAllocate | ActFetchIntervention},
+		{LocalWrite, Shared, SnoopNone, Modified, ActInvalidateOthers},
+		{LocalWrite, Exclusive, SnoopNone, Modified, 0},
+		{SnoopRead, Modified, SnoopNone, Shared, ActRespondModified | ActWriteback},
+		{SnoopWrite, Shared, SnoopNone, Invalid, 0},
+		{SnoopWrite, Modified, SnoopNone, Invalid, ActRespondModified},
+	}
+	for _, c := range cases {
+		e := tab.MustLookup(c.op, c.cur, c.snoop)
+		if e.Next != c.wantNext || e.Actions != c.wantActs {
+			t.Errorf("%s/%s/%s -> (%s,%s), want (%s,%s)",
+				c.op, c.cur, c.snoop, e.Next, e.Actions, c.wantNext, c.wantActs)
+		}
+	}
+}
+
+func TestMSIReadsAllocateShared(t *testing.T) {
+	e := MSI().MustLookup(LocalRead, Invalid, SnoopNone)
+	if e.Next != Shared {
+		t.Fatalf("MSI read-miss allocates %v, want S", e.Next)
+	}
+}
+
+func TestMOESIKeepsDirtyDataOnSnoopRead(t *testing.T) {
+	tab := MOESI()
+	e := tab.MustLookup(SnoopRead, Modified, SnoopNone)
+	if e.Next != Owned {
+		t.Fatalf("MOESI M snoop-read -> %v, want O", e.Next)
+	}
+	if e.Actions.Has(ActWriteback) {
+		t.Fatal("MOESI must not write back on snoop-read")
+	}
+	if !e.Actions.Has(ActRespondModified) {
+		t.Fatal("MOESI owner must intervene")
+	}
+}
+
+func TestMustLookupPanicsOnUndefined(t *testing.T) {
+	tab := &Table{Name: "empty"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on empty table did not panic")
+		}
+	}()
+	tab.MustLookup(LocalRead, Invalid, SnoopNone)
+}
+
+func TestValidateCatchesMissingTransition(t *testing.T) {
+	tab := MESI()
+	tab.Name = "broken"
+	// Knock out one entry by rebuilding a partial table.
+	partial := &Table{Name: "partial"}
+	partial.Set(LocalRead, Invalid, SnoopNone, Shared, ActAllocate|ActFetchMemory)
+	if err := partial.Validate(); err == nil {
+		t.Fatal("Validate accepted a table with holes")
+	}
+	_ = tab
+}
+
+func TestValidateCatchesSnoopWriteKeepingLine(t *testing.T) {
+	tab := MESI()
+	tab.Name = "bad-snoop-write"
+	tab.SetAllSnoops(SnoopWrite, Shared, Shared, 0) // illegal: must invalidate
+	if err := tab.Validate(); err == nil {
+		t.Fatal("Validate accepted snoop-write that keeps the line")
+	} else if !strings.Contains(err.Error(), "snoop-write") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestValidateCatchesAllocationWithoutSource(t *testing.T) {
+	tab := MESI()
+	tab.Name = "bad-alloc"
+	tab.Set(LocalRead, Invalid, SnoopNone, Exclusive, ActAllocate) // no data source
+	if err := tab.Validate(); err == nil {
+		t.Fatal("Validate accepted allocation without data source")
+	}
+}
+
+func TestValidateCatchesHiddenDirtyOwner(t *testing.T) {
+	tab := MESI()
+	tab.Name = "hidden-owner"
+	tab.SetAllSnoops(SnoopRead, Modified, Shared, 0) // silent downgrade
+	if err := tab.Validate(); err == nil {
+		t.Fatal("Validate accepted silent dirty downgrade")
+	}
+}
+
+func TestValidateIgnoresUnusedStates(t *testing.T) {
+	// MSI never reaches E or O; Validate must not demand transitions for
+	// them.
+	if err := MSI().Validate(); err != nil {
+		t.Fatalf("MSI validation failed on unused states: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+package console
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/coherence"
+	"memories/internal/core"
+	"memories/internal/tracefile"
+)
+
+func testBoard(t *testing.T) *core.Board {
+	t.Helper()
+	return core.MustNewBoard(core.Config{
+		Nodes: []core.NodeConfig{{
+			Name:     "a",
+			CPUs:     []int{0, 1},
+			Geometry: addr.MustGeometry(64*addr.KB, 128, 4),
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+		}},
+		ProfileBucketCycles: 1000,
+		TraceCapacity:       16,
+	})
+}
+
+func run(t *testing.T, b *core.Board, cmds ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	c := New(b, &out)
+	if err := c.Run(strings.NewReader(strings.Join(cmds, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func feed(b *core.Board, n int) {
+	cycle := uint64(0)
+	for i := 0; i < n; i++ {
+		cycle += 100
+		b.Snoop(&bus.Transaction{Cmd: bus.Read, Addr: uint64(i%8) * 128, Size: 128, SrcID: i % 2, Cycle: cycle})
+	}
+	b.Flush()
+}
+
+func TestHelpAndVersion(t *testing.T) {
+	out := run(t, testBoard(t), "help", "version")
+	if !strings.Contains(out, "reprogram") || !strings.Contains(out, "MemorIES console") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestNodesAndNodeDetail(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 100)
+	out := run(t, b, "nodes", "node 0")
+	if !strings.Contains(out, "64KB 4-way") {
+		t.Fatalf("missing geometry:\n%s", out)
+	}
+	if !strings.Contains(out, "miss ratio") {
+		t.Fatalf("missing miss ratio:\n%s", out)
+	}
+	if !strings.Contains(out, "satisfied") {
+		t.Fatalf("missing breakdown:\n%s", out)
+	}
+}
+
+func TestStatsDump(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 10)
+	out := run(t, b, "stats nodea.read")
+	if !strings.Contains(out, "nodea.read.hit") || !strings.Contains(out, "nodea.read.miss") {
+		t.Fatalf("stats dump:\n%s", out)
+	}
+	if strings.Contains(out, "filter.") {
+		t.Fatal("prefix filter leaked")
+	}
+}
+
+func TestReprogramCommand(t *testing.T) {
+	b := testBoard(t)
+	out := run(t, b, "reprogram 0 size=128KB assoc=8 policy=plru")
+	if !strings.Contains(out, "128KB 8-way") {
+		t.Fatalf("reprogram output:\n%s", out)
+	}
+	if got := b.Node(0).Geometry; got != "128KB 8-way, 128B lines" {
+		t.Fatalf("board geometry = %q", got)
+	}
+}
+
+func TestReprogramErrors(t *testing.T) {
+	b := testBoard(t)
+	out := run(t, b,
+		"reprogram 0 size=100", // not pow2
+		"reprogram 0 nonsense", // not k=v
+		"reprogram 0 weird=1",  // unknown key
+		"reprogram 9 size=1MB", // bad index
+	)
+	if got := strings.Count(out, "error:"); got != 4 {
+		t.Fatalf("want 4 errors, output:\n%s", out)
+	}
+}
+
+func TestReprogramAllKeys(t *testing.T) {
+	b := testBoard(t)
+	out := run(t, b, "reprogram 0 size=256KB line=256 assoc=2 policy=fifo group=3 cpus=0,1,3 protocol=msi")
+	if !strings.Contains(out, "256KB 2-way, 256B lines") {
+		t.Fatalf("reprogram output:\n%s", out)
+	}
+	v := b.Node(0)
+	if v.Protocol != "msi" {
+		t.Fatalf("protocol = %q", v.Protocol)
+	}
+	cfg := b.Config().Nodes[0]
+	if cfg.Group != 3 || len(cfg.CPUs) != 3 || cfg.CPUs[2] != 3 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if cfg.Policy.String() != "fifo" {
+		t.Fatalf("policy = %v", cfg.Policy)
+	}
+	// Error paths for each key.
+	out = run(t, b,
+		"reprogram 0 line=333",
+		"reprogram 0 assoc=x",
+		"reprogram 0 group=x",
+		"reprogram 0 cpus=1,x",
+		"reprogram 0 policy=mru",
+		"reprogram 0 protocol=none",
+	)
+	if got := strings.Count(out, "error:"); got != 6 {
+		t.Fatalf("want 6 errors:\n%s", out)
+	}
+}
+
+func TestProfileDisabled(t *testing.T) {
+	b := core.MustNewBoard(core.Config{Nodes: []core.NodeConfig{{
+		Name:     "a",
+		CPUs:     []int{0},
+		Geometry: addr.MustGeometry(64*addr.KB, 128, 4),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}}})
+	out := run(t, b, "profile 0", "trace")
+	if !strings.Contains(out, "error: profiling disabled") {
+		t.Fatalf("profile:\n%s", out)
+	}
+	if !strings.Contains(out, "trace mode disabled") {
+		t.Fatalf("trace:\n%s", out)
+	}
+}
+
+func TestProtocolCommandUsage(t *testing.T) {
+	b := testBoard(t)
+	out := run(t, b, "protocol 0")
+	if !strings.Contains(out, "error:") {
+		t.Fatal("missing-arg protocol accepted")
+	}
+}
+
+func TestProtocolCommand(t *testing.T) {
+	b := testBoard(t)
+	run(t, b, "protocol 0 moesi")
+	if got := b.Node(0).Protocol; got != "moesi" {
+		t.Fatalf("protocol = %q", got)
+	}
+	out := run(t, b, "protocol 0 bogus")
+	if !strings.Contains(out, "error:") {
+		t.Fatal("bad protocol accepted")
+	}
+}
+
+func TestLoadMapInline(t *testing.T) {
+	b := testBoard(t)
+	mapText := coherence.MapFileString(coherence.MSI())
+	cmds := append([]string{"loadmap 0"}, strings.Split(mapText, "\n")...)
+	cmds = append(cmds, "end")
+	out := run(t, b, cmds...)
+	if !strings.Contains(out, "protocol loaded: msi") {
+		t.Fatalf("loadmap output:\n%s", out)
+	}
+	if b.Node(0).Protocol != "msi" {
+		t.Fatal("protocol not applied")
+	}
+}
+
+func TestLoadMapRejectsInvalidTable(t *testing.T) {
+	b := testBoard(t)
+	out := run(t, b, "loadmap 0", "protocol broken", "read I * -> S allocate fetch-memory", "end")
+	if !strings.Contains(out, "error:") {
+		t.Fatal("incomplete protocol accepted")
+	}
+}
+
+func TestOccupancyAndProfile(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 200)
+	out := run(t, b, "occupancy 0", "profile 0")
+	if !strings.Contains(out, "valid lines") {
+		t.Fatalf("occupancy:\n%s", out)
+	}
+	if !strings.Contains(out, "buckets") {
+		t.Fatalf("profile:\n%s", out)
+	}
+}
+
+func TestTraceStatus(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 5)
+	out := run(t, b, "trace")
+	if !strings.Contains(out, "5 records captured") {
+		t.Fatalf("trace:\n%s", out)
+	}
+}
+
+func TestTraceDumpAndReset(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 5)
+	path := filepath.Join(t.TempDir(), "console.trace")
+	out := run(t, b, "trace dump "+path, "trace reset", "trace")
+	if !strings.Contains(out, "dumped 5 records") {
+		t.Fatalf("dump:\n%s", out)
+	}
+	if !strings.Contains(out, "0 records captured") {
+		t.Fatalf("reset:\n%s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := tracefile.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("dumped file has %d records", n)
+	}
+	// Bad arguments error out.
+	out = run(t, b, "trace dump", "trace frobnicate")
+	if strings.Count(out, "error:") != 2 {
+		t.Fatalf("bad trace args:\n%s", out)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 10)
+	run(t, b, "reset-counters")
+	if b.Node(0).Refs() != 0 {
+		t.Fatal("counters not cleared")
+	}
+}
+
+func TestUnknownAndEmptyCommands(t *testing.T) {
+	b := testBoard(t)
+	out := run(t, b, "", "# comment", "frobnicate")
+	if got := strings.Count(out, "error:"); got != 1 {
+		t.Fatalf("want exactly 1 error, got output:\n%s", out)
+	}
+}
+
+func TestQuitStopsRun(t *testing.T) {
+	b := testBoard(t)
+	var out bytes.Buffer
+	c := New(b, &out)
+	if err := c.Run(strings.NewReader("version\nquit\nversion\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "MemorIES console"); got != 1 {
+		t.Fatalf("quit did not stop the loop: %d replies", got)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"memories/internal/workload/splash"
+)
+
+func TestPresetsAreInternallyConsistent(t *testing.T) {
+	for _, scale := range []Scale{ScaleCI, ScaleDefault, ScalePaper} {
+		p := PresetFor(scale)
+		if p.Scale != scale {
+			t.Errorf("%v: Scale field mismatch", scale)
+		}
+		if p.Fig8Long <= p.Fig8Short {
+			t.Errorf("%v: fig8 long (%d) not above short (%d)", scale, p.Fig8Long, p.Fig8Short)
+		}
+		if p.Fig9Long <= p.Fig9Short {
+			t.Errorf("%v: fig9 long not above short", scale)
+		}
+		if len(p.Fig8SizesMB) < 3 {
+			t.Errorf("%v: fig8 needs at least 3 sizes", scale)
+		}
+		for i := 1; i < len(p.Fig8SizesMB); i++ {
+			if p.Fig8SizesMB[i] <= p.Fig8SizesMB[i-1] {
+				t.Errorf("%v: fig8 sizes not ascending", scale)
+			}
+		}
+		for i := 1; i < len(p.Table3Sizes); i++ {
+			if p.Table3Sizes[i] <= p.Table3Sizes[i-1] {
+				t.Errorf("%v: table3 sizes not ascending", scale)
+			}
+		}
+		for i := 1; i < len(p.Table4Ms); i++ {
+			if p.Table4Ms[i] <= p.Table4Ms[i-1] {
+				t.Errorf("%v: table4 m values not ascending", scale)
+			}
+		}
+		if p.Fig10BurstRefs >= p.Fig10PeriodRefs {
+			t.Errorf("%v: journaling burst not shorter than its period", scale)
+		}
+		// The profile must have enough buckets for spike analysis: at
+		// least ~10 periods in the run.
+		if p.Fig10Refs/p.Fig10PeriodRefs < 8 {
+			t.Errorf("%v: fig10 run covers only %d journaling periods", scale, p.Fig10Refs/p.Fig10PeriodRefs)
+		}
+		if p.TPCCFactor < 1 || p.TPCHFactor < 1 {
+			t.Errorf("%v: footprint factors must be >= 1", scale)
+		}
+		if p.DBHostL2Bytes <= 0 || p.Fig11L2Bytes <= 0 {
+			t.Errorf("%v: host cache sizes unset", scale)
+		}
+	}
+}
+
+func TestPaperPresetUsesPaperParameters(t *testing.T) {
+	p := PresetFor(ScalePaper)
+	if p.TPCCFactor != 1 || p.TPCHFactor != 1 {
+		t.Error("paper preset must use full database footprints")
+	}
+	if p.Fig8Long != 10_000_000_000 {
+		t.Error("paper preset must use the 10B-reference long trace")
+	}
+	if p.Fig9Short != 45_000_000 {
+		t.Error("paper preset must use the 45M-reference short trace of Figure 9")
+	}
+	if p.Fig11Size != splash.SizePaper || p.Fig12Size != splash.SizePaper {
+		t.Error("paper preset must use full SPLASH2 problem sizes")
+	}
+	if p.Table4Ms[0] != 20 || p.Table4Ms[len(p.Table4Ms)-1] != 26 {
+		t.Error("paper preset must sweep FFT m=20..26 (Table 4)")
+	}
+	if p.Table3Sizes[len(p.Table3Sizes)-1] != 10_000_000_000 {
+		t.Error("paper preset must include the 10B-vector Table 3 row")
+	}
+}
+
+func TestCIPresetIsSmallEnough(t *testing.T) {
+	p := PresetFor(ScaleCI)
+	if p.Fig8Long > 10_000_000 || p.Fig9Long > 5_000_000 {
+		t.Error("CI preset too slow for automated tests")
+	}
+	if p.Fig11Size == splash.SizePaper {
+		t.Error("CI preset should use classic SPLASH2 sizes for the board sweeps")
+	}
+}

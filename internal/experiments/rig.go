@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memories/internal/addr"
+	"memories/internal/cache"
+	"memories/internal/coherence"
+	"memories/internal/core"
+	"memories/internal/host"
+	"memories/internal/workload"
+)
+
+// allCPUs returns [0..n).
+func allCPUs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// mesiNode builds a standard MESI/LRU node configuration.
+func mesiNode(name string, cpus []int, sizeBytes, lineBytes int64, assoc, group int) core.NodeConfig {
+	return core.NodeConfig{
+		Name:     name,
+		CPUs:     cpus,
+		Geometry: addr.MustGeometry(sizeBytes, lineBytes, assoc),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+		Group:    group,
+	}
+}
+
+// dbHostConfig is the host used for the database case studies at the
+// preset's scale.
+func dbHostConfig(p Preset) host.Config {
+	cfg := host.DefaultConfig()
+	cfg.L2Bytes = p.DBHostL2Bytes
+	cfg.L2Assoc = p.DBHostL2Assoc
+	return cfg
+}
+
+// boardRun wires a fresh host (from cfg and generator factory) to a fresh
+// board and runs refs references, flushing the board at the end.
+func boardRun(hcfg host.Config, newGen func() workload.Generator, bcfg core.Config, refs uint64) (*core.Board, *host.Host, error) {
+	b, err := core.NewBoard(bcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := host.New(hcfg, newGen())
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Bus().Attach(b)
+	h.Run(refs)
+	b.Flush()
+	return b, h, nil
+}
+
+// cacheSweep measures one emulated-cache configuration per size, all
+// observing the same workload stream. Sizes run in batches of four —
+// one per node controller, each in its own snoop group (the board's
+// multiple-configuration mode, §2.2) — so every batch needs only one
+// host run, and the deterministic generators guarantee every batch sees
+// an identical stream.
+func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int64, lineBytes int64, assoc int, refs uint64) ([]core.NodeView, error) {
+	views := make([]core.NodeView, 0, len(sizes))
+	for start := 0; start < len(sizes); start += core.MaxNodes {
+		end := start + core.MaxNodes
+		if end > len(sizes) {
+			end = len(sizes)
+		}
+		var nodes []core.NodeConfig
+		for i, size := range sizes[start:end] {
+			nodes = append(nodes, mesiNode(fmt.Sprintf("s%d", start+i), allCPUs(hcfg.NumCPUs), size, lineBytes, assoc, i))
+		}
+		b, _, err := boardRun(hcfg, newGen, core.Config{Nodes: nodes}, refs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range nodes {
+			views = append(views, b.Node(i))
+		}
+	}
+	return views, nil
+}
+
+// procSweep measures the aggregate miss ratio when the host's CPUs are
+// split into nodes of `procs` processors, each with its own cache of
+// cacheBytes. More than four nodes take multiple board runs (the paper's
+// board has four controllers); results aggregate across runs.
+func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, lineBytes int64, assoc int, refs uint64, procs int) (float64, error) {
+	if hcfg.NumCPUs%procs != 0 {
+		return 0, fmt.Errorf("experiments: %d CPUs not divisible by %d per node", hcfg.NumCPUs, procs)
+	}
+	nodesNeeded := hcfg.NumCPUs / procs
+	var missSum, refSum uint64
+	for batch := 0; batch*core.MaxNodes < nodesNeeded; batch++ {
+		var nodes []core.NodeConfig
+		for n := batch * core.MaxNodes; n < nodesNeeded && n < (batch+1)*core.MaxNodes; n++ {
+			cpus := make([]int, procs)
+			for j := range cpus {
+				cpus[j] = n*procs + j
+			}
+			nodes = append(nodes, mesiNode(fmt.Sprintf("n%d", n), cpus, cacheBytes, lineBytes, assoc, 0))
+		}
+		b, _, err := boardRun(hcfg, newGen, core.Config{Nodes: nodes}, refs)
+		if err != nil {
+			return 0, err
+		}
+		for i := range nodes {
+			v := b.Node(i)
+			missSum += v.Misses()
+			refSum += v.Refs()
+		}
+	}
+	if refSum == 0 {
+		return 0, fmt.Errorf("experiments: proc sweep saw no references")
+	}
+	return float64(missSum) / float64(refSum), nil
+}
+
+// monotoneNonincreasing checks a curve falls (within a relative
+// tolerance) as the x axis grows.
+func monotoneNonincreasing(xs []int64, ys []float64, tol float64, what string) error {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]*(1+tol) {
+			return fmt.Errorf("%s: not monotone at %d (%.4f -> %.4f)", what, xs[i], ys[i-1], ys[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,492 @@
+// Package host models the machine MemorIES plugs into: an S7A-class SMP
+// whose processors, private L1/L2 caches, and snooping 6xx bus produce the
+// transaction stream the board observes.
+//
+// The model is deliberately scoped to what the board can see. Processors
+// consume a workload.Generator's reference stream; private caches filter
+// it; only L2 misses, ownership upgrades, and castouts reach the bus —
+// plus the I/O, interrupt, and sync traffic the board's address filter
+// must reject. MESI coherence runs between the private caches, including
+// cache-to-cache interventions, so the bus stream has the same command mix
+// a real 6xx machine would show.
+//
+// Fidelity note on retries: when a transaction draws a combined Retry
+// (only possible from a board configured with RetryOnOverflow), the
+// requester backs off and re-issues, but peer caches commit their snoop
+// reactions on the first attempt rather than waiting for the combined
+// response. The re-issued transaction finds those reactions already
+// applied, which is idempotent for every MESI action, so coherence is
+// unaffected; only the intervention/invalidation counters can run one
+// event high per retry.
+//
+// Timing: each instruction advances the bus clock by
+// CPI * (busClock/cpuClock) / NumCPUs idle cycles, and each L2 miss stalls
+// its processor for a memory latency. Together these place bus utilization
+// in the paper's observed 2-20% band for ordinary workloads, which is what
+// keeps the board's SDRAM (42% throughput) comfortably ahead of the bus.
+package host
+
+import (
+	"fmt"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/workload"
+)
+
+// Private-cache line states (cache.Cache state bytes). The host caches use
+// a fixed MESI protocol — the *programmable* protocol machinery belongs to
+// the board, which emulates caches below these.
+const (
+	stInvalid   = cache.StateInvalid
+	stShared    = 1
+	stExclusive = 2
+	stModified  = 3
+)
+
+// Config describes the host machine.
+type Config struct {
+	// NumCPUs is the processor count (the S7A tops out at 12; the
+	// paper's case studies use 8).
+	NumCPUs int
+	// CPUClockMHz is the processor clock (262 MHz Northstar).
+	CPUClockMHz int
+	// CPI is the average cycles per instruction excluding L2-miss stalls;
+	// commercial workloads on this class of machine run at CPI 4-8.
+	CPI float64
+	// MissStallBusCycles is the processor stall per L2 miss, in bus
+	// cycles (~600ns loaded memory latency at 100 MHz = 60 cycles).
+	MissStallBusCycles float64
+	// MissOverlap is how many outstanding misses overlap machine-wide;
+	// these in-order processors sustain little memory parallelism, so the
+	// default is 2. Lower values mean more of each miss's latency shows
+	// up as bus idle time, pushing utilization down toward the 2-20% the
+	// paper observed.
+	MissOverlap float64
+	// LineSize is the cache line size for L1 and L2 (the S7A uses 128B).
+	LineSize int64
+	// L1Bytes/L1Assoc size the per-CPU L1 (data) cache.
+	L1Bytes int64
+	L1Assoc int
+	// L2Bytes/L2Assoc size the per-CPU L2. The S7A allows reconfiguring
+	// at boot from 8MB 4-way down to 1MB direct-mapped — the knob the
+	// paper's Table 5 exploits.
+	L2Bytes int64
+	L2Assoc int
+	// L2Enabled false turns the L2 off entirely; the board then emulates
+	// an L2 rather than an L3 (paper §1).
+	L2Enabled bool
+	// IOFraction is the probability of injecting an I/O / interrupt /
+	// sync transaction between references, exercising the board's
+	// address filter.
+	IOFraction float64
+	// Bus is the bus configuration.
+	Bus bus.Config
+	// Seed drives the host's internal randomness (I/O injection).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's host: an 8-way S7A with 8MB 4-way L2s.
+func DefaultConfig() Config {
+	return Config{
+		NumCPUs:            8,
+		CPUClockMHz:        262,
+		CPI:                6,
+		MissStallBusCycles: 60,
+		MissOverlap:        2,
+		LineSize:           128,
+		L1Bytes:            64 * addr.KB,
+		L1Assoc:            2,
+		L2Bytes:            8 * addr.MB,
+		L2Assoc:            4,
+		L2Enabled:          true,
+		IOFraction:         0.002,
+		Bus:                bus.DefaultConfig(),
+		Seed:               1,
+	}
+}
+
+// Stats aggregates host activity.
+type Stats struct {
+	Refs          uint64 // workload references processed
+	Instructions  uint64 // instructions executed (sum of Ref.Instrs)
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64 // hits in the coherence (lowest private) cache
+	L2Misses      uint64 // misses that went to the bus
+	Upgrades      uint64 // DClaim ownership upgrades
+	Castouts      uint64 // dirty evictions written back on the bus
+	IntervModSup  uint64 // interventions supplied from a Modified line
+	IntervShrSup  uint64 // snoop responses supplied Shared
+	Invalidations uint64 // lines lost to other CPUs' writes
+	IOOps         uint64 // injected non-memory transactions
+	Retried       uint64 // transactions re-issued after a bus retry
+}
+
+// cpu is one processor with its private hierarchy. The coherence cache is
+// the L2 when enabled, otherwise the L1.
+type cpu struct {
+	id   int
+	host *Host
+	l1   *cache.Cache // nil when the L1 is the coherence cache
+	coh  *cache.Cache
+}
+
+// Host is the modeled SMP.
+type Host struct {
+	cfg   Config
+	bus   *bus.Bus
+	cpus  []*cpu
+	gen   workload.Generator
+	rng   *workload.RNG
+	stats Stats
+
+	idleCarry    float64 // fractional idle bus cycles pending
+	cyclesPerRef float64 // idle cycles per instruction
+	ioAddr       uint64
+}
+
+// New builds the host. The workload generator may be nil and set later
+// with SetWorkload.
+func New(cfg Config, gen workload.Generator) (*Host, error) {
+	if cfg.NumCPUs <= 0 {
+		return nil, fmt.Errorf("host: NumCPUs must be positive")
+	}
+	if cfg.CPUClockMHz <= 0 || cfg.CPI <= 0 {
+		return nil, fmt.Errorf("host: invalid clocking")
+	}
+	if cfg.MissOverlap <= 0 {
+		cfg.MissOverlap = 1
+	}
+	h := &Host{
+		cfg: cfg,
+		bus: bus.New(cfg.Bus),
+		gen: gen,
+		rng: workload.NewRNG(cfg.Seed),
+	}
+	h.cyclesPerRef = cfg.CPI * float64(cfg.Bus.ClockMHz) / float64(cfg.CPUClockMHz) / float64(cfg.NumCPUs)
+	for i := 0; i < cfg.NumCPUs; i++ {
+		c := &cpu{id: i, host: h}
+		l1geom, err := addr.NewGeometry(cfg.L1Bytes, cfg.LineSize, cfg.L1Assoc)
+		if err != nil {
+			return nil, fmt.Errorf("host: L1: %v", err)
+		}
+		l1 := cache.MustNew(cache.Config{Geometry: l1geom, Policy: cache.LRU})
+		if cfg.L2Enabled {
+			l2geom, err := addr.NewGeometry(cfg.L2Bytes, cfg.LineSize, cfg.L2Assoc)
+			if err != nil {
+				return nil, fmt.Errorf("host: L2: %v", err)
+			}
+			c.l1 = l1
+			c.coh = cache.MustNew(cache.Config{Geometry: l2geom, Policy: cache.LRU})
+		} else {
+			c.coh = l1
+		}
+		h.cpus = append(h.cpus, c)
+		h.bus.Attach(c)
+	}
+	return h, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config, gen workload.Generator) *Host {
+	h, err := New(cfg, gen)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Bus returns the host's 6xx bus, where observers (the MemorIES board)
+// attach.
+func (h *Host) Bus() *bus.Bus { return h.bus }
+
+// Config returns the host configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// Stats returns a copy of the host statistics.
+func (h *Host) Stats() Stats { return h.stats }
+
+// SetWorkload replaces the workload generator.
+func (h *Host) SetWorkload(gen workload.Generator) { h.gen = gen }
+
+// Step processes one workload reference (plus any injected I/O traffic),
+// returning false when the workload stream has ended.
+func (h *Host) Step() bool {
+	ref, ok := h.gen.Next()
+	if !ok {
+		return false
+	}
+	h.stats.Refs++
+	h.stats.Instructions += ref.Instrs
+
+	// Compute time: instructions advance the bus clock as idle cycles.
+	h.idleCarry += float64(ref.Instrs) * h.cyclesPerRef
+	if h.idleCarry >= 1 {
+		n := uint64(h.idleCarry)
+		h.bus.Idle(n)
+		h.idleCarry -= float64(n)
+	}
+
+	// Occasional non-memory traffic for the address filter to reject.
+	if h.cfg.IOFraction > 0 && h.rng.Chance(h.cfg.IOFraction) {
+		h.injectIO(ref.CPU)
+	}
+
+	c := h.cpus[ref.CPU%len(h.cpus)]
+	c.access(ref.Addr, ref.Write)
+	return true
+}
+
+// Run processes up to n references, returning how many were processed.
+func (h *Host) Run(n uint64) uint64 {
+	var i uint64
+	for ; i < n; i++ {
+		if !h.Step() {
+			break
+		}
+	}
+	return i
+}
+
+// injectIO issues one I/O-register, interrupt, or sync transaction.
+func (h *Host) injectIO(cpuID int) {
+	h.stats.IOOps++
+	h.ioAddr += 8
+	var cmd bus.Command
+	switch h.rng.Intn(4) {
+	case 0:
+		cmd = bus.IORead
+	case 1:
+		cmd = bus.IOWrite
+	case 2:
+		cmd = bus.Interrupt
+	default:
+		cmd = bus.Sync
+	}
+	h.bus.Issue(&bus.Transaction{
+		Cmd:   cmd,
+		Addr:  (1 << 52) | (h.ioAddr & 0xffff), // I/O space, outside memory
+		Size:  8,
+		SrcID: cpuID,
+	})
+}
+
+// access runs one reference through the private hierarchy.
+func (c *cpu) access(a uint64, write bool) {
+	h := c.host
+	geom := c.coh.Geometry()
+	line := geom.LineAddr(a)
+
+	// L1 filter (valid-bit only; coherence state lives in the L2).
+	if c.l1 != nil {
+		if c.l1.Access(line) != stInvalid {
+			h.stats.L1Hits++
+			if !write {
+				return
+			}
+			// Write hits still need ownership at the coherence point.
+			st := c.coh.Access(line)
+			switch st {
+			case stModified:
+				return
+			case stExclusive:
+				c.coh.SetState(line, stModified)
+				return
+			case stShared:
+				c.upgrade(line)
+				return
+			case stInvalid:
+				// L1 had the line but L2 lost it (inclusion violation
+				// would be a bug; the eviction path below prevents it).
+				panic("host: L1 hit without L2 backing (inclusion broken)")
+			}
+			return
+		}
+		h.stats.L1Misses++
+	}
+
+	st := c.coh.Access(line)
+	switch {
+	case st == stInvalid:
+		c.miss(line, write)
+	case write && st == stShared:
+		h.stats.L2Hits++
+		c.upgrade(line)
+	case write && st == stExclusive:
+		h.stats.L2Hits++
+		c.coh.SetState(line, stModified)
+	default:
+		h.stats.L2Hits++
+	}
+	if c.l1 != nil {
+		c.l1.Fill(line, 1)
+	}
+}
+
+// retryDelayCycles is how long a processor backs off before re-issuing a
+// retried transaction; retryLimit bounds livelock in pathological setups
+// (a board misconfigured to retry everything).
+const (
+	retryDelayCycles = 16
+	retryLimit       = 1000
+)
+
+// issueWithRetry puts a transaction on the bus, honoring the 6xx retry
+// protocol: a combined Retry response means some device (in practice only
+// an overflowing MemorIES board) could not accept it, and the requester
+// must back off and re-issue.
+func (h *Host) issueWithRetry(tx *bus.Transaction) bus.SnoopResponse {
+	for attempt := 0; ; attempt++ {
+		resp := h.bus.Issue(tx)
+		if resp != bus.RespRetry || attempt >= retryLimit {
+			return resp
+		}
+		h.stats.Retried++
+		h.bus.Idle(retryDelayCycles)
+	}
+}
+
+// upgrade claims exclusive ownership of a shared line via DClaim.
+func (c *cpu) upgrade(line uint64) {
+	h := c.host
+	h.stats.Upgrades++
+	h.issueWithRetry(&bus.Transaction{
+		Cmd:   bus.DClaim,
+		Addr:  line,
+		SrcID: c.id,
+	})
+	c.coh.SetState(line, stModified)
+}
+
+// miss fetches a line from the bus with the appropriate command, fills the
+// hierarchy, and writes back any dirty victim.
+func (c *cpu) miss(line uint64, write bool) {
+	h := c.host
+	h.stats.L2Misses++
+	cmd := bus.Read
+	if write {
+		cmd = bus.RWITM
+	}
+	resp := h.issueWithRetry(&bus.Transaction{
+		Cmd:   cmd,
+		Addr:  line,
+		Size:  int(h.cfg.LineSize),
+		SrcID: c.id,
+	})
+
+	// Memory-latency stall; only MissOverlap misses hide each other.
+	h.idleCarry += h.cfg.MissStallBusCycles / h.cfg.MissOverlap
+	if h.idleCarry >= 1 {
+		n := uint64(h.idleCarry)
+		h.bus.Idle(n)
+		h.idleCarry -= float64(n)
+	}
+
+	fill := uint8(stExclusive)
+	switch {
+	case write:
+		fill = stModified
+	case resp == bus.RespShared || resp == bus.RespModified:
+		fill = stShared
+	}
+	victim, evicted := c.coh.Fill(line, fill)
+	if evicted {
+		if c.l1 != nil {
+			c.l1.Invalidate(victim.Addr) // inclusion
+		}
+		if victim.State == stModified {
+			h.stats.Castouts++
+			h.issueWithRetry(&bus.Transaction{
+				Cmd:   bus.Castout,
+				Addr:  victim.Addr,
+				Size:  int(h.cfg.LineSize),
+				SrcID: c.id,
+			})
+		}
+	}
+}
+
+// BusID implements bus.Snooper.
+func (c *cpu) BusID() int { return c.id }
+
+// Snoop implements bus.Snooper: MESI reactions of this CPU's private
+// hierarchy to other CPUs' transactions.
+func (c *cpu) Snoop(tx *bus.Transaction) bus.SnoopResponse {
+	if !tx.Cmd.IsMemoryOp() {
+		return bus.RespNull
+	}
+	h := c.host
+	line := c.coh.Geometry().LineAddr(tx.Addr)
+	st := c.coh.Probe(line)
+	if st == stInvalid {
+		return bus.RespNull
+	}
+	switch tx.Cmd {
+	case bus.Read:
+		switch st {
+		case stModified:
+			h.stats.IntervModSup++
+			c.coh.SetState(line, stShared)
+			return bus.RespModified
+		case stExclusive:
+			h.stats.IntervShrSup++
+			c.coh.SetState(line, stShared)
+			return bus.RespShared
+		default:
+			return bus.RespShared
+		}
+	case bus.RWITM, bus.DClaim, bus.Flush:
+		h.stats.Invalidations++
+		c.coh.Invalidate(line)
+		if c.l1 != nil {
+			c.l1.Invalidate(line)
+		}
+		if st == stModified {
+			h.stats.IntervModSup++
+			return bus.RespModified
+		}
+		return bus.RespShared
+	case bus.Clean:
+		if st == stModified {
+			c.coh.SetState(line, stShared)
+			return bus.RespModified
+		}
+		return bus.RespNull
+	default: // Castout, Push: no reaction
+		return bus.RespNull
+	}
+}
+
+// CheckInclusion verifies L1 ⊆ L2 for every CPU; tests call it after
+// random workloads. It returns the first violating address, if any.
+func (h *Host) CheckInclusion() (uint64, bool) {
+	for _, c := range h.cpus {
+		if c.l1 == nil {
+			continue
+		}
+		var bad uint64
+		found := false
+		c.l1.ForEachValid(func(line uint64, _ uint8) {
+			if !found && c.coh.Probe(line) == stInvalid {
+				bad, found = line, true
+			}
+		})
+		if found {
+			return bad, true
+		}
+	}
+	return 0, false
+}
+
+// EstimatedRuntimeSeconds models wall-clock execution time for the work
+// processed so far: instruction time plus un-overlapped L2-miss stalls.
+// Table 5's runtime comparisons between L2 configurations come from this.
+func (h *Host) EstimatedRuntimeSeconds() float64 {
+	cpuHz := float64(h.cfg.CPUClockMHz) * 1e6
+	instrSec := float64(h.stats.Instructions) * h.cfg.CPI / cpuHz / float64(h.cfg.NumCPUs)
+	busHz := float64(h.cfg.Bus.ClockMHz) * 1e6
+	stallSec := float64(h.stats.L2Misses) * h.cfg.MissStallBusCycles / busHz / h.cfg.MissOverlap / float64(h.cfg.NumCPUs)
+	return instrSec + stallSec
+}

@@ -1,0 +1,240 @@
+// Package interposer implements the board's foreign-bus attachment
+// (paper §3): "the ability to ... connect to an interposer card to take
+// measurements from systems with a different bus architecture, such as
+// an Intel X86 platform. Different bus architecture measurements require
+// protocol conversion on the interposer card, reprogramming of the FPGA,
+// or changing the command map file if the protocol is similar."
+//
+// The card observes transactions in a foreign command vocabulary (a
+// P6-style front-side bus here), translates them through a command map —
+// loadable from the same style of text file as the protocol tables — and
+// forwards them to any 6xx-side observer (normally the MemorIES board).
+// Commands with no mapping are filtered and counted, exactly like the
+// address filter's rejects.
+package interposer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"memories/internal/bus"
+)
+
+// FSBCommand is a P6-style front-side-bus transaction type.
+type FSBCommand uint8
+
+const (
+	// BRL: Bus Read Line — a cacheable line fetch.
+	BRL FSBCommand = iota
+	// BRIL: Bus Read and Invalidate Line — fetch with intent to modify.
+	BRIL
+	// BIL: Bus Invalidate Line — ownership claim without data.
+	BIL
+	// BWL: Bus Write Line — an explicit writeback of a dirty line.
+	BWL
+	// MemRead8 / MemWrite8: uncacheable partial transfers.
+	MemRead8
+	MemWrite8
+	// IORead32 / IOWrite32: I/O port accesses.
+	IORead32
+	IOWrite32
+	// IntA: interrupt acknowledge.
+	IntA
+	// Special: special cycles (halt, shutdown, flush acknowledge).
+	Special
+
+	numFSBCommands = int(Special) + 1
+)
+
+var fsbNames = [numFSBCommands]string{
+	"brl", "bril", "bil", "bwl", "memread8", "memwrite8",
+	"ioread32", "iowrite32", "inta", "special",
+}
+
+// String returns the FSB mnemonic.
+func (c FSBCommand) String() string {
+	if int(c) < numFSBCommands {
+		return fsbNames[c]
+	}
+	return fmt.Sprintf("fsb(%d)", uint8(c))
+}
+
+// ParseFSBCommand parses an FSB mnemonic.
+func ParseFSBCommand(s string) (FSBCommand, error) {
+	for i, n := range fsbNames {
+		if strings.EqualFold(s, n) {
+			return FSBCommand(i), nil
+		}
+	}
+	return 0, fmt.Errorf("interposer: unknown FSB command %q", s)
+}
+
+// NumFSBCommands returns the size of the foreign command vocabulary.
+func NumFSBCommands() int { return numFSBCommands }
+
+// Transaction is one foreign-bus operation as observed by the card.
+type Transaction struct {
+	Cmd     FSBCommand
+	Addr    uint64
+	AgentID int // requesting bus agent
+	Size    int
+	Cycle   uint64
+}
+
+// CommandMap translates foreign commands to 6xx commands. Unmapped
+// entries are filtered.
+type CommandMap struct {
+	to     [numFSBCommands]bus.Command
+	mapped [numFSBCommands]bool
+}
+
+// Set maps a foreign command.
+func (m *CommandMap) Set(from FSBCommand, to bus.Command) {
+	m.to[from] = to
+	m.mapped[from] = true
+}
+
+// Lookup returns the translation and whether one exists.
+func (m *CommandMap) Lookup(from FSBCommand) (bus.Command, bool) {
+	return m.to[from], m.mapped[from]
+}
+
+// P6Map returns the stock command map for a P6-style FSB: line reads and
+// ownership traffic translate to their 6xx equivalents; partials, I/O,
+// and interrupt cycles map to the filtered classes so the board's
+// address filter rejects them with proper accounting.
+func P6Map() *CommandMap {
+	m := &CommandMap{}
+	m.Set(BRL, bus.Read)
+	m.Set(BRIL, bus.RWITM)
+	m.Set(BIL, bus.DClaim)
+	m.Set(BWL, bus.Castout)
+	m.Set(IORead32, bus.IORead)
+	m.Set(IOWrite32, bus.IOWrite)
+	m.Set(IntA, bus.Interrupt)
+	// MemRead8/MemWrite8 and Special stay unmapped: the card drops them
+	// before they reach the board (they carry no cache-line semantics).
+	return m
+}
+
+// WriteMapFile serializes a command map in the text format:
+//
+//	command-map <name>
+//	map <fsb-command> <6xx-command>
+func WriteMapFile(w io.Writer, name string, m *CommandMap) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "command-map %s\n", name)
+	for c := 0; c < numFSBCommands; c++ {
+		if to, ok := m.Lookup(FSBCommand(c)); ok {
+			fmt.Fprintf(bw, "map %s %s\n", FSBCommand(c), to)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseMapFile parses the command-map text format. Later lines override
+// earlier ones; '#' starts a comment.
+func ParseMapFile(r io.Reader) (name string, m *CommandMap, err error) {
+	m = &CommandMap{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case strings.EqualFold(fields[0], "command-map") && len(fields) == 2:
+			name = fields[1]
+		case strings.EqualFold(fields[0], "map") && len(fields) == 3:
+			from, err := ParseFSBCommand(fields[1])
+			if err != nil {
+				return "", nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			to, ok := parseBusCommand(fields[2])
+			if !ok {
+				return "", nil, fmt.Errorf("line %d: unknown 6xx command %q", lineNo, fields[2])
+			}
+			m.Set(from, to)
+		default:
+			return "", nil, fmt.Errorf("line %d: cannot parse %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("interposer: map file missing command-map directive")
+	}
+	return name, m, nil
+}
+
+func parseBusCommand(s string) (bus.Command, bool) {
+	for c := 0; c < bus.NumCommands(); c++ {
+		if strings.EqualFold(s, bus.Command(c).String()) {
+			return bus.Command(c), true
+		}
+	}
+	return 0, false
+}
+
+// Stats counts the card's activity.
+type Stats struct {
+	Observed   uint64 // foreign transactions seen
+	Translated uint64 // forwarded to the 6xx-side observer
+	Dropped    uint64 // unmapped commands filtered on the card
+}
+
+// Card is the interposer: it receives foreign-bus transactions and
+// forwards translated ones to a 6xx-side snooper (the board).
+type Card struct {
+	cmap   *CommandMap
+	target bus.Snooper
+	stats  Stats
+}
+
+// New builds a card with the given map and target observer.
+func New(cmap *CommandMap, target bus.Snooper) (*Card, error) {
+	if cmap == nil || target == nil {
+		return nil, fmt.Errorf("interposer: command map and target required")
+	}
+	return &Card{cmap: cmap, target: target}, nil
+}
+
+// MustNew is New for known-good arguments.
+func MustNew(cmap *CommandMap, target bus.Snooper) *Card {
+	c, err := New(cmap, target)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns a copy of the card statistics.
+func (c *Card) Stats() Stats { return c.stats }
+
+// Observe translates and forwards one foreign transaction, returning the
+// target's snoop response (retry propagates back to the foreign bus).
+func (c *Card) Observe(ftx Transaction) bus.SnoopResponse {
+	c.stats.Observed++
+	to, ok := c.cmap.Lookup(ftx.Cmd)
+	if !ok {
+		c.stats.Dropped++
+		return bus.RespNull
+	}
+	c.stats.Translated++
+	return c.target.Snoop(&bus.Transaction{
+		Cmd:   to,
+		Addr:  ftx.Addr,
+		Size:  ftx.Size,
+		SrcID: ftx.AgentID,
+		Cycle: ftx.Cycle,
+	})
+}

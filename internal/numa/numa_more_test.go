@@ -1,0 +1,86 @@
+package numa
+
+import (
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+)
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with empty config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBusIDIsPassive(t *testing.T) {
+	e := MustNew(mkConfig(2, false))
+	if e.BusID() >= 0 {
+		t.Fatal("NUMA emulator must be a passive observer (negative bus ID)")
+	}
+}
+
+func TestCastoutIntoRemoteCache(t *testing.T) {
+	e := MustNew(mkConfig(2, true))
+	// Node 0 reads a remote line (home 1): it lands in the remote cache.
+	issue(e, bus.Read, 4096, 0)
+	// Node 0 casts it out: the remote-cache copy must turn dirty, which a
+	// later read by node 1's CPU surfaces as an intervention.
+	issue(e, bus.Castout, 4096, 0)
+	issue(e, bus.Read, 4096, 2)
+	if e.Counters().Value("numa0.intervention.supplied") != 1 {
+		t.Fatalf("castout into remote cache lost dirtiness:\n%s", e.Counters().Dump("numa0"))
+	}
+}
+
+func TestCastoutOfUntrackedLineAllocates(t *testing.T) {
+	e := MustNew(mkConfig(2, false))
+	issue(e, bus.Castout, 0, 0) // nothing cached, nothing in directory
+	// The L3 must now hold the line dirty.
+	before := e.Node(0).L3Miss
+	issue(e, bus.Read, 0, 0)
+	if e.Node(0).L3Miss != before {
+		t.Fatal("castout did not allocate into the L3")
+	}
+}
+
+func TestSnoopRespNullAlways(t *testing.T) {
+	e := MustNew(mkConfig(2, false))
+	tx := &bus.Transaction{Cmd: bus.RWITM, Addr: 0, Size: 128, SrcID: 0}
+	if got := e.Snoop(tx); got != bus.RespNull {
+		t.Fatalf("passive emulator answered %v", got)
+	}
+}
+
+func TestDirtyWriteeMissesElsewhereInvalidatedViaDirectory(t *testing.T) {
+	// Three-node machine: 0 and 1 cache a line; 2 writes it; both lose it.
+	cfg := Config{
+		HomeInterleaveBytes: 4 * addr.KB,
+		Directory:           addr.MustGeometry(16*addr.KB, 128, 4),
+	}
+	for i := 0; i < 3; i++ {
+		cfg.Nodes = append(cfg.Nodes, NodeConfig{
+			CPUs:   []int{i},
+			L3:     addr.MustGeometry(32*addr.KB, 128, 4),
+			Policy: cache.LRU,
+		})
+	}
+	e := MustNew(cfg)
+	issue(e, bus.Read, 0, 0)
+	issue(e, bus.Read, 0, 1)
+	issue(e, bus.RWITM, 0, 2)
+	if got := e.Node(0).InvalidationsSent; got != 2 {
+		t.Fatalf("invalidations sent = %d, want 2 (both sharers)", got)
+	}
+	for _, src := range []int{0, 1} {
+		before := e.Node(src).L3Miss
+		issue(e, bus.Read, 0, src)
+		if e.Node(src).L3Miss != before+1 {
+			t.Fatalf("node %d kept a stale copy", src)
+		}
+	}
+}

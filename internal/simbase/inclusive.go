@@ -1,0 +1,172 @@
+package simbase
+
+import (
+	"fmt"
+
+	"memories/internal/addr"
+	"memories/internal/cache"
+)
+
+// InclusiveSim quantifies the board's §3.4 limitation. MemorIES is
+// passive: "when a line gets replaced in the L3 cache, the line cannot be
+// invalidated in the lower levels (L1 and L2). Therefore, it cannot
+// emulate accurately a fully-inclusive L3 cache."
+//
+// The simulator runs one *raw* (pre-L2) reference stream through two
+// complete L2+L3 models side by side:
+//
+//   - the passive model, matching reality under the board: private L2s
+//     whose misses feed an L3 that never back-invalidates them;
+//   - an inclusive oracle: identical L2s and L3, but every L3 eviction
+//     back-invalidates the L2s, so lines the processors still wanted
+//     re-miss — first into the L3, sometimes all the way to memory.
+//
+// The divergence between the two L3 miss ratios is the emulation error
+// the paper concedes. Note the raw stream is required: a captured *bus*
+// trace is already L2-filtered and cannot reveal when a back-invalidated
+// line would have been re-referenced — which is exactly why the paper
+// notes that "all trace driven simulations using bus traces also have
+// the same limitation".
+type InclusiveSim struct {
+	passive   *twoLevel
+	inclusive *twoLevel
+	stats     InclusiveStats
+}
+
+// twoLevel is one private-L2s-plus-shared-L3 model.
+type twoLevel struct {
+	l2        []*cache.Cache
+	l3        *cache.Cache
+	inclusive bool
+
+	l3Refs, l3Misses, backInvals uint64
+}
+
+func (m *twoLevel) reference(a uint64, cpu int) {
+	if m.l2[cpu].Access(a) != cache.StateInvalid {
+		return // L2 hit: invisible below
+	}
+	m.l3Refs++
+	if m.l3.Access(a) == cache.StateInvalid {
+		m.l3Misses++
+		victim, evicted := m.l3.Fill(a, 1)
+		if evicted && m.inclusive {
+			for _, l2 := range m.l2 {
+				if _, found := l2.Invalidate(victim.Addr); found {
+					m.backInvals++
+				}
+			}
+		}
+	}
+	m.l2[cpu].Fill(a, 1)
+}
+
+// InclusiveStats are the paired results.
+type InclusiveStats struct {
+	Refs uint64 // raw references processed
+
+	PassiveL3Refs   uint64
+	PassiveMisses   uint64
+	InclusiveL3Refs uint64
+	InclusiveMisses uint64
+	BackInvalidates uint64 // L2 lines killed by inclusive L3 evictions
+}
+
+// PassiveMissRatio returns the board-style L3 miss ratio.
+func (s InclusiveStats) PassiveMissRatio() float64 {
+	if s.PassiveL3Refs == 0 {
+		return 0
+	}
+	return float64(s.PassiveMisses) / float64(s.PassiveL3Refs)
+}
+
+// InclusiveMissRatio returns the oracle inclusive L3 miss ratio.
+func (s InclusiveStats) InclusiveMissRatio() float64 {
+	if s.InclusiveL3Refs == 0 {
+		return 0
+	}
+	return float64(s.InclusiveMisses) / float64(s.InclusiveL3Refs)
+}
+
+// Divergence returns the relative error of the passive emulation against
+// the inclusive oracle (0 = identical).
+func (s InclusiveStats) Divergence() float64 {
+	inc := s.InclusiveMissRatio()
+	if inc == 0 {
+		return 0
+	}
+	d := s.PassiveMissRatio()/inc - 1
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// InclusiveConfig sizes the paired models.
+type InclusiveConfig struct {
+	NumCPUs int
+	L2      addr.Geometry // private L2, per CPU
+	L3      addr.Geometry // the emulated cache under study
+	Policy  cache.Policy
+}
+
+// NewInclusiveSim builds the paired simulator.
+func NewInclusiveSim(cfg InclusiveConfig) (*InclusiveSim, error) {
+	if cfg.NumCPUs <= 0 {
+		return nil, fmt.Errorf("simbase: NumCPUs must be positive")
+	}
+	if cfg.L2.Sets == 0 || cfg.L3.Sets == 0 {
+		return nil, fmt.Errorf("simbase: L2 and L3 geometries required")
+	}
+	build := func(inclusive bool) (*twoLevel, error) {
+		l3, err := cache.New(cache.Config{Geometry: cfg.L3, Policy: cfg.Policy})
+		if err != nil {
+			return nil, err
+		}
+		m := &twoLevel{l3: l3, inclusive: inclusive}
+		for i := 0; i < cfg.NumCPUs; i++ {
+			l2, err := cache.New(cache.Config{Geometry: cfg.L2, Policy: cfg.Policy})
+			if err != nil {
+				return nil, err
+			}
+			m.l2 = append(m.l2, l2)
+		}
+		return m, nil
+	}
+	passive, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	inclusive, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	return &InclusiveSim{passive: passive, inclusive: inclusive}, nil
+}
+
+// MustNewInclusiveSim is NewInclusiveSim for known-good configurations.
+func MustNewInclusiveSim(cfg InclusiveConfig) *InclusiveSim {
+	s, err := NewInclusiveSim(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Reference processes one raw (pre-L2) reference through both models.
+func (s *InclusiveSim) Reference(a uint64, cpu int) {
+	s.stats.Refs++
+	s.passive.reference(a, cpu%len(s.passive.l2))
+	s.inclusive.reference(a, cpu%len(s.inclusive.l2))
+}
+
+// Stats returns the paired results.
+func (s *InclusiveSim) Stats() InclusiveStats {
+	st := s.stats
+	st.PassiveL3Refs = s.passive.l3Refs
+	st.PassiveMisses = s.passive.l3Misses
+	st.InclusiveL3Refs = s.inclusive.l3Refs
+	st.InclusiveMisses = s.inclusive.l3Misses
+	st.BackInvalidates = s.inclusive.backInvals
+	return st
+}

@@ -1,0 +1,107 @@
+package simbase
+
+import (
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/cache"
+	"memories/internal/workload"
+)
+
+func inclusiveCfg(l3KB int64) InclusiveConfig {
+	return InclusiveConfig{
+		NumCPUs: 4,
+		L2:      addr.MustGeometry(16*addr.KB, 128, 2),
+		L3:      addr.MustGeometry(l3KB*addr.KB, 128, 4),
+		Policy:  cache.LRU,
+	}
+}
+
+func TestInclusiveSimValidation(t *testing.T) {
+	if _, err := NewInclusiveSim(InclusiveConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := inclusiveCfg(64)
+	cfg.NumCPUs = 0
+	if _, err := NewInclusiveSim(cfg); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	// Tiny direct-mapped L3 so a conflicting fill back-invalidates the
+	// inclusive model's L2 while the passive model's L2 keeps its line.
+	cfg := InclusiveConfig{
+		NumCPUs: 1,
+		L2:      addr.MustGeometry(16*addr.KB, 128, 2),
+		L3:      addr.MustGeometry(512, 128, 1), // 4 sets direct mapped
+		Policy:  cache.LRU,
+	}
+	s := MustNewInclusiveSim(cfg)
+	s.Reference(0x0000, 0)
+	s.Reference(0x0200, 0) // same L3 set: evicts 0x0, kills inclusive L2 copy
+	if got := s.Stats().BackInvalidates; got != 1 {
+		t.Fatalf("BackInvalidates = %d, want 1", got)
+	}
+	// Re-reference 0x0: the passive model's L2 still has it (no L3 refs);
+	// the inclusive model re-misses all the way through.
+	before := s.Stats()
+	s.Reference(0x0000, 0)
+	after := s.Stats()
+	if after.PassiveL3Refs != before.PassiveL3Refs {
+		t.Fatal("passive L2 lost a line it should have kept")
+	}
+	if after.InclusiveMisses != before.InclusiveMisses+1 {
+		t.Fatal("back-invalidated line did not re-miss in the inclusive model")
+	}
+}
+
+// TestPassiveMatchesInclusiveForBigL3: when the L3 never evicts (bigger
+// than the touched footprint), the two models agree exactly — the
+// limitation only bites under replacement.
+func TestPassiveMatchesInclusiveForBigL3(t *testing.T) {
+	s := MustNewInclusiveSim(inclusiveCfg(16 * 1024)) // 16MB L3
+	gen := workload.NewZipfian(workload.ZipfConfig{
+		NumCPUs: 4, FootprintByte: 4 * addr.MB, WriteFraction: 0, Seed: 3,
+	})
+	for i := 0; i < 100000; i++ {
+		ref, _ := gen.Next()
+		s.Reference(ref.Addr&^127, ref.CPU)
+	}
+	st := s.Stats()
+	if st.BackInvalidates != 0 {
+		t.Fatalf("16MB L3 on a 4MB footprint back-invalidated %d lines", st.BackInvalidates)
+	}
+	if st.PassiveMisses != st.InclusiveMisses || st.PassiveL3Refs != st.InclusiveL3Refs {
+		t.Fatalf("no-eviction models diverged: %+v", st)
+	}
+}
+
+// TestPassiveDivergesUnderPressure: with an L3 barely larger than the
+// L2s and a footprint far beyond both, back-invalidation appears and the
+// passive emulation visibly underestimates the inclusive design's L3
+// reference traffic — the §3.4 effect, quantified.
+func TestPassiveDivergesUnderPressure(t *testing.T) {
+	s := MustNewInclusiveSim(inclusiveCfg(64)) // 64KB L3 vs 4x16KB L2
+	gen := workload.NewZipfian(workload.ZipfConfig{
+		NumCPUs: 4, FootprintByte: 1 * addr.MB, Skew: 1.5, WriteFraction: 0, Seed: 3,
+	})
+	for i := 0; i < 200000; i++ {
+		ref, _ := gen.Next()
+		s.Reference(ref.Addr&^127, ref.CPU)
+	}
+	st := s.Stats()
+	if st.BackInvalidates == 0 {
+		t.Fatal("no back-invalidations under heavy L3 pressure")
+	}
+	if st.InclusiveL3Refs <= st.PassiveL3Refs {
+		t.Fatalf("inclusive L3 traffic (%d) not above passive (%d); back-invalidation cost invisible",
+			st.InclusiveL3Refs, st.PassiveL3Refs)
+	}
+	if st.Divergence() == 0 {
+		t.Fatal("zero divergence under pressure; the §3.4 limitation would be invisible")
+	}
+	t.Logf("passive %.4f vs inclusive %.4f (divergence %.1f%%), %d back-invalidations, L3 refs %d vs %d",
+		st.PassiveMissRatio(), st.InclusiveMissRatio(), st.Divergence()*100,
+		st.BackInvalidates, st.PassiveL3Refs, st.InclusiveL3Refs)
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("TABLE X. Demo", "Name", "Count", "Ratio")
+	tb.AddRow("alpha", 10, 0.25)
+	tb.AddRow("beta-longer", 2000, 12.5)
+	s := tb.String()
+	if !strings.HasPrefix(s, "TABLE X. Demo\n") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Ratio") {
+		t.Fatalf("header malformed: %q", lines[1])
+	}
+	// Column alignment: "Count" column starts at same offset in all rows.
+	off := strings.Index(lines[3], "10")
+	if off < 0 || !strings.Contains(lines[4][:off+4], "2000") {
+		t.Logf("alignment layout:\n%s", s)
+	}
+	if !strings.Contains(s, "0.2500") {
+		t.Fatalf("float <1 should use 4 decimals:\n%s", s)
+	}
+	if !strings.Contains(s, "12.50") {
+		t.Fatalf("float >=1 should use 2 decimals:\n%s", s)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.0371, "0.0371"},
+		{5.5, "5.50"},
+		{150.2, "150.2"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("plain", `with "quote", comma`)
+	csv := tb.CSV()
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	tb := NewTable("Empty", "only")
+	s := tb.String()
+	if !strings.Contains(s, "only") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Observe(0, 1, 10)
+	ts.Observe(99, 1, 10)
+	ts.Observe(100, 5, 10)
+	ts.Observe(250, 0, 10)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	if got := ts.Ratio(0); got != 0.1 {
+		t.Fatalf("bucket0 ratio = %v, want 0.1", got)
+	}
+	if got := ts.Ratio(1); got != 0.5 {
+		t.Fatalf("bucket1 ratio = %v, want 0.5", got)
+	}
+	if got := ts.Ratio(2); got != 0 {
+		t.Fatalf("bucket2 ratio = %v, want 0", got)
+	}
+}
+
+func TestTimeSeriesMeanIsAggregate(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Observe(0, 1, 100) // 1%
+	ts.Observe(10, 9, 10) // 90%, tiny denominator
+	// Aggregate: 10/110, not (0.01+0.9)/2.
+	want := 10.0 / 110.0
+	if got := ts.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestTimeSeriesZeroWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimeSeries(0) did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+// buildSpikySeries makes a flat 2% miss-ratio profile with spikes to 20%
+// every `period` buckets, mimicking the Figure 10 journaling signature.
+func buildSpikySeries(buckets, period int) *TimeSeries {
+	ts := NewTimeSeries(1000)
+	for i := 0; i < buckets; i++ {
+		num := uint64(20)
+		if period > 0 && i%period == 0 && i > 0 {
+			num = 200
+		}
+		ts.Observe(uint64(i)*1000, num, 1000)
+	}
+	return ts
+}
+
+func TestSpikesDetectsPeriodicSpikes(t *testing.T) {
+	ts := buildSpikySeries(100, 10)
+	spikes := ts.Spikes(3)
+	if len(spikes) != 9 {
+		t.Fatalf("Spikes = %v, want 9 spikes", spikes)
+	}
+	for _, s := range spikes {
+		if s%10 != 0 {
+			t.Fatalf("spurious spike at bucket %d", s)
+		}
+	}
+}
+
+func TestSpikesFlatSeriesHasNone(t *testing.T) {
+	ts := buildSpikySeries(100, 0)
+	if spikes := ts.Spikes(3); len(spikes) != 0 {
+		t.Fatalf("flat series reported spikes %v", spikes)
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	ts := buildSpikySeries(200, 25)
+	if got := ts.DominantPeriod(3); got != 25 {
+		t.Fatalf("DominantPeriod = %d, want 25", got)
+	}
+}
+
+func TestDominantPeriodTooFewSpikes(t *testing.T) {
+	ts := buildSpikySeries(15, 10) // only one spike at bucket 10
+	if got := ts.DominantPeriod(3); got != 0 {
+		t.Fatalf("DominantPeriod = %d, want 0", got)
+	}
+}
+
+func TestDominantPeriodCollapsesAdjacent(t *testing.T) {
+	ts := NewTimeSeries(1)
+	for i := 0; i < 60; i++ {
+		num := uint64(2)
+		// Two-bucket-wide spikes every 20 buckets.
+		if i > 0 && (i%20 == 0 || i%20 == 1) {
+			num = 50
+		}
+		ts.Observe(uint64(i), num, 100)
+	}
+	if got := ts.DominantPeriod(3); got != 20 {
+		t.Fatalf("DominantPeriod = %d, want 20", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	ts := buildSpikySeries(50, 10)
+	line := ts.Sparkline()
+	if len(line) != 50 {
+		t.Fatalf("Sparkline length %d, want 50", len(line))
+	}
+	if line[10] == line[5] {
+		t.Fatalf("spike bucket renders same glyph as baseline: %q", line)
+	}
+}
+
+func TestSparklineEmptySeries(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Observe(0, 0, 0)
+	if got := ts.Sparkline(); got != " " {
+		t.Fatalf("Sparkline of empty = %q", got)
+	}
+}
+
+func TestRatiosSliceMatchesRatio(t *testing.T) {
+	ts := buildSpikySeries(30, 7)
+	rs := ts.Ratios()
+	for i := range rs {
+		if rs[i] != ts.Ratio(i) {
+			t.Fatalf("Ratios[%d] = %v != Ratio(%d) = %v", i, rs[i], i, ts.Ratio(i))
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package tracefile implements the bus-trace format used by the MemorIES
+// board's trace-collection mode. Paper §2.3: "The current revision of the
+// MemorIES board is capable of collecting traces containing up to 1
+// billion 8-byte wide bus references at a time", later dumped to disk on
+// the console machine for off-line analysis.
+//
+// Each reference is packed into exactly 8 bytes:
+//
+//	bits 63..16  physical address >> 3 (8-byte aligned; 48 bits => 2 PB)
+//	bits 15..8   bus command
+//	bits  7..0   source bus ID
+//
+// A file is the 8-byte magic "MIES0001" followed by little-endian records.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"memories/internal/bus"
+)
+
+// Magic identifies a MemorIES trace file (format version 1).
+const Magic = "MIES0001"
+
+// RecordSize is the on-disk size of one bus reference.
+const RecordSize = 8
+
+// MaxAddr is the largest encodable address (exclusive bound).
+const MaxAddr = uint64(1) << 51
+
+// ErrUnaligned is returned when an address' low 3 bits are nonzero; the
+// 6xx bus carries nothing narrower than a doubleword.
+var ErrUnaligned = errors.New("tracefile: address not 8-byte aligned")
+
+// ErrAddrRange is returned when an address exceeds the 48-bit packed field.
+var ErrAddrRange = errors.New("tracefile: address out of encodable range")
+
+// Record is one bus reference.
+type Record struct {
+	Addr  uint64
+	Cmd   bus.Command
+	SrcID uint8
+}
+
+// Pack encodes the record into its 8-byte representation.
+func (r Record) Pack() (uint64, error) {
+	if r.Addr&7 != 0 {
+		return 0, fmt.Errorf("%w: %#x", ErrUnaligned, r.Addr)
+	}
+	if r.Addr >= MaxAddr {
+		return 0, fmt.Errorf("%w: %#x", ErrAddrRange, r.Addr)
+	}
+	return (r.Addr>>3)<<16 | uint64(r.Cmd)<<8 | uint64(r.SrcID), nil
+}
+
+// Unpack decodes an 8-byte representation.
+func Unpack(v uint64) Record {
+	return Record{
+		Addr:  (v >> 16) << 3,
+		Cmd:   bus.Command(v >> 8),
+		SrcID: uint8(v),
+	}
+}
+
+// FromTransaction converts a bus transaction to a trace record.
+func FromTransaction(tx *bus.Transaction) Record {
+	src := tx.SrcID
+	if src < 0 {
+		src = 0
+	}
+	return Record{Addr: tx.Addr &^ 7, Cmd: tx.Cmd, SrcID: uint8(src)}
+}
+
+// Writer streams trace records to an io.Writer.
+type Writer struct {
+	bw    *bufio.Writer
+	count uint64
+	buf   [RecordSize]byte
+}
+
+// NewWriter writes the file magic and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	v, err := r.Pack()
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	if _, err := w.bw.Write(w.buf[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams trace records from an io.Reader.
+type Reader struct {
+	br    *bufio.Reader
+	count uint64
+	buf   [RecordSize]byte
+}
+
+// NewReader validates the file magic and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	if string(head) != Magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", head)
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next record, or io.EOF after the last one. A torn final
+// record yields io.ErrUnexpectedEOF.
+func (r *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("tracefile: torn record after %d: %w", r.count, err)
+	}
+	r.count++
+	return Unpack(binary.LittleEndian.Uint64(r.buf[:])), nil
+}
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Capture models the board's on-board trace memory: a bounded in-memory
+// record buffer. Once full, further records are dropped and counted, like
+// the hardware running out of its 1GB (up to 8GB) of DRAM.
+type Capture struct {
+	limit   int
+	records []uint64
+	dropped uint64
+}
+
+// NewCapture creates a capture buffer holding at most limit records.
+// The board's stock configuration (1GB of SDRAM) holds 128Mi records;
+// callers pick the limit that matches the emulated memory population.
+func NewCapture(limit int) *Capture {
+	if limit <= 0 {
+		panic("tracefile: capture limit must be positive")
+	}
+	return &Capture{limit: limit}
+}
+
+// Add appends a record if space remains, reporting whether it was stored.
+func (c *Capture) Add(r Record) (bool, error) {
+	if len(c.records) >= c.limit {
+		c.dropped++
+		return false, nil
+	}
+	v, err := r.Pack()
+	if err != nil {
+		return false, err
+	}
+	c.records = append(c.records, v)
+	return true, nil
+}
+
+// Len returns the number of stored records.
+func (c *Capture) Len() int { return len(c.records) }
+
+// Dropped returns how many records arrived after the buffer filled.
+func (c *Capture) Dropped() uint64 { return c.dropped }
+
+// Full reports whether the capture memory is exhausted.
+func (c *Capture) Full() bool { return len(c.records) >= c.limit }
+
+// Record returns the i-th stored record.
+func (c *Capture) Record(i int) Record { return Unpack(c.records[i]) }
+
+// Dump writes the captured trace as a file (the "dump to a disk in the
+// console machine" step).
+func (c *Capture) Dump(w io.Writer) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, v := range c.records {
+		r := Unpack(v)
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Reset clears the capture buffer for a new collection window.
+func (c *Capture) Reset() {
+	c.records = c.records[:0]
+	c.dropped = 0
+}

@@ -1,0 +1,199 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memories/internal/bus"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(addr uint64, cmd, src uint8) bool {
+		r := Record{
+			Addr:  (addr % (MaxAddr >> 3)) << 3, // aligned, in range
+			Cmd:   bus.Command(cmd % uint8(bus.NumCommands())),
+			SrcID: src,
+		}
+		v, err := r.Pack()
+		if err != nil {
+			return false
+		}
+		return Unpack(v) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackRejectsUnaligned(t *testing.T) {
+	_, err := Record{Addr: 0x1001}.Pack()
+	if !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("err = %v, want ErrUnaligned", err)
+	}
+}
+
+func TestPackRejectsHugeAddr(t *testing.T) {
+	_, err := Record{Addr: MaxAddr}.Pack()
+	if !errors.Is(err, ErrAddrRange) {
+		t.Fatalf("err = %v, want ErrAddrRange", err)
+	}
+	// Largest encodable address round-trips.
+	r := Record{Addr: MaxAddr - 8}
+	v, err := r.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Unpack(v).Addr != MaxAddr-8 {
+		t.Fatal("max address did not round-trip")
+	}
+}
+
+func TestFromTransaction(t *testing.T) {
+	tx := &bus.Transaction{Cmd: bus.RWITM, Addr: 0x12345601, SrcID: 5}
+	r := FromTransaction(tx)
+	if r.Addr != 0x12345600 || r.Cmd != bus.RWITM || r.SrcID != 5 {
+		t.Fatalf("FromTransaction = %+v", r)
+	}
+	// Negative (passive observer) source IDs clamp to 0.
+	r = FromTransaction(&bus.Transaction{Cmd: bus.Read, Addr: 0x100, SrcID: -1})
+	if r.SrcID != 0 {
+		t.Fatalf("SrcID = %d, want 0", r.SrcID)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var want []Record
+	for i := 0; i < 1000; i++ {
+		r := Record{
+			Addr:  uint64(rng.Intn(1<<30)) &^ 7,
+			Cmd:   bus.Command(rng.Intn(bus.NumCommands())),
+			SrcID: uint8(rng.Intn(12)),
+		}
+		want = append(want, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(Magic)+1000*RecordSize {
+		t.Fatalf("file size = %d", buf.Len())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wantRec := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != wantRec {
+			t.Fatalf("record %d = %+v, want %+v", i, got, wantRec)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if r.Count() != 1000 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTMIES0"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("MI"))); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestReaderTornRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Addr: 8})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3] // tear the record
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn record error = %v", err)
+	}
+}
+
+func TestCaptureLimitAndDrop(t *testing.T) {
+	c := NewCapture(3)
+	for i := 0; i < 5; i++ {
+		stored, err := c.Add(Record{Addr: uint64(i) * 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i < 3; stored != want {
+			t.Fatalf("Add #%d stored=%v, want %v", i, stored, want)
+		}
+	}
+	if c.Len() != 3 || c.Dropped() != 2 || !c.Full() {
+		t.Fatalf("capture state: len=%d dropped=%d full=%v", c.Len(), c.Dropped(), c.Full())
+	}
+	if got := c.Record(2).Addr; got != 16 {
+		t.Fatalf("Record(2).Addr = %d", got)
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 || c.Full() {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCaptureDumpRoundTrip(t *testing.T) {
+	c := NewCapture(100)
+	for i := 0; i < 10; i++ {
+		c.Add(Record{Addr: uint64(i) * 128, Cmd: bus.Read, SrcID: uint8(i)})
+	}
+	var buf bytes.Buffer
+	if err := c.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Addr != uint64(i)*128 || rec.SrcID != uint8(i) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatal("expected EOF")
+	}
+}
+
+func TestCapturePanicsOnBadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCapture(0) did not panic")
+		}
+	}()
+	NewCapture(0)
+}

@@ -1,0 +1,99 @@
+package workload
+
+// Pyramid models nested hierarchical working sets: level k spans the
+// first Sizes[k] bytes of a region (each level containing the previous),
+// and is chosen with probability proportional to Weights[k]. Accesses are
+// uniform within the chosen level.
+//
+// This is the working-set structure that cache-size sweeps respond to: a
+// cache of capacity C captures exactly the levels that fit in C, so the
+// steady-state miss ratio falls smoothly as C grows, while a short trace
+// only ever touches a fraction of the big levels — the mechanism behind
+// the paper's trace-length case study (Figure 8). Database workloads are
+// built on it: transaction-local rows at the bottom, warehouse/district
+// working sets in the middle, the full table at the top.
+type Pyramid struct {
+	sizes  []int64
+	cum    []float64 // cumulative selection probabilities
+	slotSz int64
+}
+
+// NewPyramid builds a pyramid over a span of `total` bytes: the smallest
+// level is minLevel bytes, each level is `growth` times larger, and each
+// larger level is chosen `damp` times less often (0 < damp < 1). The top
+// level always spans the full total. Slot granularity is slotSize bytes.
+func NewPyramid(total, minLevel, slotSize int64, growth int64, damp float64) *Pyramid {
+	if total <= 0 || minLevel <= 0 || slotSize <= 0 || growth < 2 || damp <= 0 || damp >= 1 {
+		panic("workload: invalid pyramid parameters")
+	}
+	if minLevel > total {
+		minLevel = total
+	}
+	p := &Pyramid{slotSz: slotSize}
+	var weights []float64
+	w := 1.0
+	for s := minLevel; s < total; s *= growth {
+		p.sizes = append(p.sizes, s)
+		weights = append(weights, w)
+		w *= damp
+	}
+	p.sizes = append(p.sizes, total)
+	weights = append(weights, w)
+	var sum float64
+	for _, x := range weights {
+		sum += x
+	}
+	acc := 0.0
+	p.cum = make([]float64, len(weights))
+	for i, x := range weights {
+		acc += x / sum
+		p.cum[i] = acc
+	}
+	return p
+}
+
+// Levels returns the level sizes, smallest first.
+func (p *Pyramid) Levels() []int64 {
+	out := make([]int64, len(p.sizes))
+	copy(out, p.sizes)
+	return out
+}
+
+// Sample returns a byte offset within the pyramid's span, aligned to the
+// slot size.
+func (p *Pyramid) Sample(r *RNG) int64 {
+	u := r.Float()
+	level := len(p.cum) - 1
+	for i, c := range p.cum {
+		if u < c {
+			level = i
+			break
+		}
+	}
+	slots := p.sizes[level] / p.slotSz
+	if slots <= 0 {
+		slots = 1
+	}
+	return r.Intn(slots) * p.slotSz
+}
+
+// ExpectedTouched estimates the distinct bytes touched after n samples:
+// each level contributes min(level size, samples into it * slot size).
+// Used by tests and calibration, not the hot path.
+func (p *Pyramid) ExpectedTouched(n uint64) int64 {
+	var total int64
+	prev := 0.0
+	for i, c := range p.cum {
+		frac := c - prev
+		prev = c
+		into := int64(float64(n) * frac * float64(p.slotSz))
+		if into > p.sizes[i] {
+			into = p.sizes[i]
+		}
+		total += into
+	}
+	if total > p.sizes[len(p.sizes)-1] {
+		total = p.sizes[len(p.sizes)-1]
+	}
+	return total
+}

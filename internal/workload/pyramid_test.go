@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+
+	"memories/internal/addr"
+)
+
+func TestPyramidLevels(t *testing.T) {
+	p := NewPyramid(64*addr.MB, addr.MB, 128, 4, 0.5)
+	levels := p.Levels()
+	want := []int64{addr.MB, 4 * addr.MB, 16 * addr.MB, 64 * addr.MB}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+}
+
+func TestPyramidTopLevelAlwaysFullSpan(t *testing.T) {
+	p := NewPyramid(100*addr.MB, addr.MB, 128, 4, 0.5) // 100MB not a power of 4 multiple
+	levels := p.Levels()
+	if levels[len(levels)-1] != 100*addr.MB {
+		t.Fatalf("top level = %d, want full span", levels[len(levels)-1])
+	}
+}
+
+func TestPyramidMinLevelClamped(t *testing.T) {
+	p := NewPyramid(addr.MB, 16*addr.MB, 128, 4, 0.5)
+	if len(p.Levels()) != 1 || p.Levels()[0] != addr.MB {
+		t.Fatalf("levels = %v", p.Levels())
+	}
+}
+
+func TestPyramidSampleBoundsAndAlignment(t *testing.T) {
+	p := NewPyramid(8*addr.MB, 256*addr.KB, 128, 4, 0.5)
+	r := NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		off := p.Sample(r)
+		if off < 0 || off >= 8*addr.MB {
+			t.Fatalf("offset %d out of span", off)
+		}
+		if off%128 != 0 {
+			t.Fatalf("offset %d not slot aligned", off)
+		}
+	}
+}
+
+func TestPyramidConcentratesOnSmallLevels(t *testing.T) {
+	p := NewPyramid(64*addr.MB, addr.MB, 128, 4, 0.5)
+	r := NewRNG(4)
+	const n = 200000
+	inHot := 0
+	for i := 0; i < n; i++ {
+		if p.Sample(r) < addr.MB {
+			inHot++
+		}
+	}
+	// The 1MB level gets ~8/15 of the probability mass directly, plus its
+	// share of the bigger uniform levels.
+	frac := float64(inHot) / n
+	if frac < 0.45 || frac > 0.70 {
+		t.Fatalf("hot-level fraction = %.3f, want ~0.55", frac)
+	}
+}
+
+func TestPyramidTouchedGrowsSublinearly(t *testing.T) {
+	p := NewPyramid(1*addr.GB, addr.MB, 128, 4, 0.5)
+	small := p.ExpectedTouched(10_000)
+	big := p.ExpectedTouched(10_000_000)
+	if big <= small {
+		t.Fatal("touched footprint must grow with samples")
+	}
+	// 1000x the samples must touch far less than 1000x the bytes.
+	if big >= small*200 {
+		t.Fatalf("touched grew linearly: %d -> %d", small, big)
+	}
+}
+
+func TestPyramidInvalidParamsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewPyramid(0, 1, 128, 4, 0.5) },
+		func() { NewPyramid(addr.MB, 0, 128, 4, 0.5) },
+		func() { NewPyramid(addr.MB, addr.KB, 0, 4, 0.5) },
+		func() { NewPyramid(addr.MB, addr.KB, 128, 1, 0.5) },
+		func() { NewPyramid(addr.MB, addr.KB, 128, 4, 0) },
+		func() { NewPyramid(addr.MB, addr.KB, 128, 4, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

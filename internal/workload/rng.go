@@ -1,0 +1,89 @@
+package workload
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (xorshift64*), used by
+// every workload so that streams are reproducible without carrying
+// math/rand state into hot loops. It is exported for the splash
+// subpackage's kernels.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds the generator; a zero seed is remapped to a fixed odd
+// constant because xorshift has an all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Intn bound must be positive")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float returns a value in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Chance reports true with probability p.
+func (r *RNG) Chance(p float64) bool { return r.Float() < p }
+
+// Zipf samples from an approximate Zipf distribution over [0, n) with
+// skew s > 1, using inverse-CDF sampling on the continuous bounded-Pareto
+// approximation. Rank 0 is the hottest. This is the record-popularity
+// model for OLTP row access: a few rows are very hot, with a long tail.
+type Zipf struct {
+	r       *RNG
+	n       float64
+	oneMinS float64 // 1 - s
+	scale   float64 // n^(1-s) - 1
+}
+
+// NewZipf builds a sampler over [0, n) with skew s (s > 1).
+func NewZipf(r *RNG, s float64, n int64) *Zipf {
+	if n <= 0 {
+		panic("workload: zipf range must be positive")
+	}
+	if s <= 1.0 {
+		panic("workload: zipf skew must exceed 1")
+	}
+	oneMinS := 1 - s
+	return &Zipf{
+		r:       r,
+		n:       float64(n),
+		oneMinS: oneMinS,
+		scale:   math.Pow(float64(n), oneMinS) - 1,
+	}
+}
+
+// Sample returns a rank in [0, n), rank 0 hottest.
+func (z *Zipf) Sample() int64 {
+	u := z.r.Float()
+	// Inverse CDF of bounded Pareto on [1, n]: x = (1 + u*(n^(1-s)-1))^(1/(1-s))
+	x := math.Pow(1+u*z.scale, 1/z.oneMinS)
+	i := int64(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= int64(z.n) {
+		i = int64(z.n) - 1
+	}
+	return i
+}

@@ -1,0 +1,158 @@
+package splash
+
+import (
+	"fmt"
+
+	"memories/internal/workload"
+)
+
+// BarnesConfig parameterizes the Barnes-Hut N-body kernel. The paper runs
+// 16M bodies (3.1GB).
+type BarnesConfig struct {
+	NumCPUs int
+	// Bodies is the particle count.
+	Bodies int64
+	// BodyBytes is per-body storage (position, velocity, acceleration,
+	// work lists); 160B reproduces the paper's 3.1GB at 16M bodies
+	// together with the octree cells.
+	BodyBytes int64
+	Seed      uint64
+}
+
+// Barnes models the Barnes-Hut force-calculation phase: each processor
+// sweeps its own bodies and, per body, walks the shared octree from the
+// root. Upper tree levels have exponentially few cells and are read by
+// every walk, forming a small, very hot, read-shared working set; leaves
+// are cold. A periodic tree-build phase writes cells, creating the
+// moderate invalidation traffic of a read-mostly shared structure.
+type Barnes struct {
+	cfg    BarnesConfig
+	bodies workload.Region
+	tree   workload.Region
+	r      *workload.RNG
+
+	levels    []int64 // cell count per tree level
+	levelOff  []int64 // byte offset of each level within the tree region
+	cellBytes int64
+
+	cpu int
+	st  []barnesCPUState
+}
+
+type barnesCPUState struct {
+	body      int64 // index within this CPU's body partition
+	walkLevel int   // current level of the in-progress tree walk (-1: read body)
+	walkCell  int64 // subtree selector accumulated during the walk
+	building  int64 // pending tree-build cell writes
+}
+
+// NewBarnes builds the kernel.
+func NewBarnes(cfg BarnesConfig) *Barnes {
+	if cfg.NumCPUs <= 0 {
+		panic("splash: NumCPUs must be positive")
+	}
+	if cfg.Bodies < int64(cfg.NumCPUs)*8 {
+		panic(fmt.Sprintf("splash: barnes bodies=%d too few", cfg.Bodies))
+	}
+	if cfg.BodyBytes <= 0 {
+		cfg.BodyBytes = 160
+	}
+	const cellBytes = 128
+	// Octree: levels grow 8x; stop when the level has ~bodies/8 cells
+	// (leaves hold ~8 bodies each).
+	var levels []int64
+	cells := int64(1)
+	total := int64(0)
+	for total+cells <= cfg.Bodies/4 {
+		levels = append(levels, cells)
+		total += cells
+		cells *= 8
+	}
+	if len(levels) == 0 {
+		levels = []int64{1}
+		total = 1
+	}
+	l := workload.NewLayout()
+	b := &Barnes{
+		cfg:       cfg,
+		bodies:    l.Region(cfg.Bodies * cfg.BodyBytes),
+		tree:      l.Region(total * cellBytes),
+		r:         workload.NewRNG(cfg.Seed),
+		levels:    levels,
+		cellBytes: cellBytes,
+		st:        make([]barnesCPUState, cfg.NumCPUs),
+	}
+	off := int64(0)
+	for _, n := range levels {
+		b.levelOff = append(b.levelOff, off)
+		off += n * cellBytes
+	}
+	for i := range b.st {
+		b.st[i].walkLevel = -1
+	}
+	return b
+}
+
+// Name implements workload.Generator.
+func (b *Barnes) Name() string { return fmt.Sprintf("barnes-%dk", b.cfg.Bodies/1024) }
+
+// Footprint implements workload.Generator.
+func (b *Barnes) Footprint() int64 { return b.bodies.Size + b.tree.Size }
+
+// cellAddr returns the address of a cell at (level, index mod level size).
+func (b *Barnes) cellAddr(level int, idx int64) uint64 {
+	n := b.levels[level]
+	return b.tree.At(b.levelOff[level] + (idx%n)*b.cellBytes)
+}
+
+// Next implements workload.Generator.
+func (b *Barnes) Next() (workload.Ref, bool) {
+	cpu := b.cpu
+	b.cpu = (b.cpu + 1) % b.cfg.NumCPUs
+	s := &b.st[cpu]
+
+	// Tree-build phase: a burst of shared cell writes after a partition
+	// sweep completes.
+	if s.building > 0 {
+		s.building--
+		level := len(b.levels) - 1 - int(s.building)%2 // mostly leaf levels
+		if level < 0 {
+			level = 0
+		}
+		a := b.cellAddr(level, b.r.Intn(b.levels[level]))
+		return workload.Ref{Addr: a, Write: true, CPU: cpu, Instrs: 6}, true
+	}
+
+	partBodies := b.cfg.Bodies / int64(b.cfg.NumCPUs)
+	if s.walkLevel < 0 {
+		// Read the next body of this CPU's partition, then start a walk.
+		idx := int64(cpu)*partBodies + s.body
+		a := b.bodies.Slot(idx, b.cfg.BodyBytes)
+		s.walkLevel = 0
+		s.walkCell = b.r.Intn(1 << 30)
+		return workload.Ref{Addr: a, Write: false, CPU: cpu, Instrs: 4}, true
+	}
+
+	// Walk one level of the octree. The subtree selector makes the walk
+	// spatially coherent: the same body descends toward the same leaves.
+	level := s.walkLevel
+	a := b.cellAddr(level, s.walkCell>>(uint(len(b.levels)-1-level)*3))
+	s.walkLevel++
+	if s.walkLevel >= len(b.levels) {
+		// Walk done: write the body's updated acceleration.
+		s.walkLevel = -1
+		idx := int64(cpu)*partBodies + s.body
+		s.body++
+		if s.body >= partBodies {
+			s.body = 0
+			s.building = 64 // tree-build burst between timesteps
+		}
+		return workload.Ref{
+			Addr:   b.bodies.Slot(idx, b.cfg.BodyBytes) + 64,
+			Write:  true,
+			CPU:    cpu,
+			Instrs: 8,
+		}, true
+	}
+	return workload.Ref{Addr: a, Write: false, CPU: cpu, Instrs: 8}, true
+}

@@ -1,0 +1,186 @@
+package splash
+
+import (
+	"fmt"
+
+	"memories/internal/workload"
+)
+
+// FFTConfig parameterizes the six-step FFT kernel. The paper runs
+// "FFT -m28 -l7": 2^28 complex points with 128-byte cache lines,
+// 12.58GB across the source, destination, and transpose-scratch arrays.
+type FFTConfig struct {
+	NumCPUs int
+	// M is log2 of the number of complex (16-byte) points.
+	M int
+	// PassesPerBlock is how many times a cache-blocked chunk is re-swept
+	// before moving on (the blocked butterfly stages). Larger problem
+	// sizes do more stages per block, which is why the full-size FFT has
+	// a *lower* miss rate per instruction than the classic size
+	// (Table 6). Zero selects a size-appropriate default.
+	PassesPerBlock int
+	// BlockBytes is the cache-blocking granularity (default 2MB, sized to
+	// sit inside an 8MB per-CPU L2 but overflow the 1MB direct-mapped
+	// boot alternative — which is why Table 5 shows FFT slowing down on
+	// the small L2). Clamped to the per-CPU partition size.
+	BlockBytes int64
+	Seed       uint64
+}
+
+// FFT is the six-step FFT kernel: blocked local butterflies over each
+// processor's partition, a strided all-to-all transpose through a scratch
+// array, and a twiddle-table sweep. Sharing is low (transpose reads
+// only), matching the paper's observation that FFT has few interventions.
+type FFT struct {
+	cfg     FFTConfig
+	src     workload.Region
+	dst     workload.Region
+	scratch workload.Region
+	twiddle workload.Region
+	r       *workload.RNG
+
+	partBytes int64
+	cpu       int
+	st        []fftCPUState
+}
+
+type fftCPUState struct {
+	phase    int   // 0 = blocked compute, 1 = transpose, 2 = twiddle
+	blockOff int64 // start of current block within the partition
+	pass     int   // pass index within the block
+	off      int64 // offset within the block / phase cursor
+	rd       bool  // transpose toggle: read (true) or write (false) next
+}
+
+// NewFFT builds the kernel.
+func NewFFT(cfg FFTConfig) *FFT {
+	if cfg.NumCPUs <= 0 {
+		panic("splash: NumCPUs must be positive")
+	}
+	if cfg.M < 8 || cfg.M > 34 {
+		panic(fmt.Sprintf("splash: fft M=%d out of range [8,34]", cfg.M))
+	}
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = 2 << 20
+	}
+	if cfg.PassesPerBlock <= 0 {
+		// Stage count grows with log n: deeper transforms re-use each
+		// blocked chunk more before it leaves the cache.
+		cfg.PassesPerBlock = cfg.M / 4
+		if cfg.PassesPerBlock < 2 {
+			cfg.PassesPerBlock = 2
+		}
+	}
+	points := int64(1) << cfg.M
+	arrayBytes := points * 16
+	twiddleBytes := sizeOrMin(round64((int64(1)<<(cfg.M/2))*16), 1<<16)
+	l := workload.NewLayout()
+	f := &FFT{
+		cfg:     cfg,
+		src:     l.Region(arrayBytes),
+		dst:     l.Region(arrayBytes),
+		scratch: l.Region(arrayBytes),
+		twiddle: l.Region(twiddleBytes),
+		r:       workload.NewRNG(cfg.Seed),
+		st:      make([]fftCPUState, cfg.NumCPUs),
+	}
+	f.partBytes = arrayBytes / int64(cfg.NumCPUs)
+	if f.cfg.BlockBytes > f.partBytes {
+		f.cfg.BlockBytes = f.partBytes
+	}
+	return f
+}
+
+// Name implements workload.Generator.
+func (f *FFT) Name() string { return fmt.Sprintf("fft-m%d", f.cfg.M) }
+
+// Footprint implements workload.Generator.
+func (f *FFT) Footprint() int64 {
+	return f.src.Size + f.dst.Size + f.scratch.Size + f.twiddle.Size
+}
+
+// instrsPerRef models butterfly compute per emitted reference; the log n
+// factor is what lowers the full-size miss rate per instruction.
+func (f *FFT) instrsPerRef() uint64 { return uint64(f.cfg.M / 2) }
+
+// RefsPerTransform returns how many references one complete transform
+// (all phases, all CPUs) emits; Table 4's execution-time extrapolations
+// use it to scale sampled per-reference costs to a full run.
+func (f *FFT) RefsPerTransform() uint64 {
+	arrayBytes := uint64(f.src.Size)
+	ncpu := uint64(f.cfg.NumCPUs)
+	compute := arrayBytes / 64 * uint64(f.cfg.PassesPerBlock)
+	transpose := arrayBytes / 8 / 64 * 2
+	twiddle := uint64(f.twiddle.Size) / 64 * ncpu
+	return compute + transpose + twiddle
+}
+
+// InstrsPerTransform returns the instruction count of one complete
+// transform, consistent with the Instrs fields the generator emits.
+func (f *FFT) InstrsPerTransform() uint64 {
+	arrayBytes := uint64(f.src.Size)
+	ncpu := uint64(f.cfg.NumCPUs)
+	compute := arrayBytes / 64 * uint64(f.cfg.PassesPerBlock) * f.instrsPerRef()
+	transpose := arrayBytes / 8 / 64 * 2 * 2
+	twiddle := uint64(f.twiddle.Size) / 64 * ncpu * 3
+	return compute + transpose + twiddle
+}
+
+// Next implements workload.Generator.
+func (f *FFT) Next() (workload.Ref, bool) {
+	cpu := f.cpu
+	f.cpu = (f.cpu + 1) % f.cfg.NumCPUs
+	s := &f.st[cpu]
+	base := int64(cpu) * f.partBytes
+
+	switch s.phase {
+	case 0: // blocked butterflies over own partition
+		a := f.src.At(base + s.blockOff + s.off)
+		write := false
+		if s.pass == f.cfg.PassesPerBlock-1 {
+			// Final pass writes results to the destination array.
+			a = f.dst.At(base + s.blockOff + s.off)
+			write = true
+		}
+		s.off += 64
+		if s.off >= f.cfg.BlockBytes {
+			s.off = 0
+			s.pass++
+			if s.pass >= f.cfg.PassesPerBlock {
+				s.pass = 0
+				s.blockOff += f.cfg.BlockBytes
+				if s.blockOff >= f.partBytes {
+					s.blockOff = 0
+					s.phase = 1
+				}
+			}
+		}
+		return workload.Ref{Addr: a, Write: write, CPU: cpu, Instrs: f.instrsPerRef()}, true
+
+	case 1: // transpose: strided reads across all partitions, local writes
+		if s.rd = !s.rd; s.rd {
+			// Column-major gather: successive reads stride by one "row"
+			// of sqrt(n) points, touching all processors' partitions of
+			// the destination array (the low-sharing cross-CPU phase).
+			rowBytes := int64(1) << ((f.cfg.M / 2) + 4) // sqrt(n) points * 16B
+			idx := (s.off/64*rowBytes + int64(cpu)*128) % f.dst.Size
+			s.off += 64
+			if s.off >= f.partBytes/8 {
+				s.off = 0
+				s.phase = 2
+			}
+			return workload.Ref{Addr: f.dst.At(idx), Write: false, CPU: cpu, Instrs: 2}, true
+		}
+		// Sequential scatter into the scratch array's own partition.
+		return workload.Ref{Addr: f.scratch.At(base + s.off), Write: true, CPU: cpu, Instrs: 2}, true
+
+	default: // twiddle sweep: small shared read-only table
+		a := f.twiddle.At(s.off)
+		s.off += 64
+		if s.off >= f.twiddle.Size {
+			s.off = 0
+			s.phase = 0 // next transform iteration
+		}
+		return workload.Ref{Addr: a, Write: false, CPU: cpu, Instrs: 3}, true
+	}
+}

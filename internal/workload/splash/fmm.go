@@ -1,0 +1,168 @@
+package splash
+
+import (
+	"fmt"
+
+	"memories/internal/workload"
+)
+
+// FMMConfig parameterizes the Fast Multipole Method kernel. The paper
+// runs 4M particles (8.34GB).
+type FMMConfig struct {
+	NumCPUs int
+	// Particles is the particle count.
+	Particles int64
+	// ParticleBytes is per-particle storage including local expansions;
+	// 2048B reproduces the paper's 8.34GB at 4M particles together with
+	// the box expansions.
+	ParticleBytes int64
+	// RemoteWriteFraction is the probability that an interaction writes
+	// into another processor's box expansion — the migratory sharing
+	// that makes FMM the intervention-heavy application of Figure 12.
+	RemoteWriteFraction float64
+	Seed                uint64
+}
+
+// FMM models the FMM downward pass: each processor sweeps the particles
+// of its own boxes, reads the multipole expansions of interaction-list
+// boxes owned by other processors, and accumulates into expansions —
+// frequently into *remote* boxes. Those remote read-modify-writes make
+// lines migrate between processors dirty, producing the "significant
+// amount of modified and shared intervention traffic" the paper reports
+// for FMM.
+type FMM struct {
+	cfg       FMMConfig
+	particles workload.Region
+	boxes     workload.Region
+	r         *workload.RNG
+
+	boxCount  int64
+	boxBytes  int64
+	perCPUBox int64
+
+	cpu int
+	st  []fmmCPUState
+}
+
+type fmmCPUState struct {
+	box      int64 // box index within this CPU's share
+	particle int64 // particle cursor within the box
+	interact int64 // pending interaction-list operations
+	upward   int64 // pending upward-pass multipole writes
+}
+
+// particlesPerBox matches the SPLASH2 default cost model (~64/box).
+const fmmParticlesPerBox = 64
+
+// NewFMM builds the kernel.
+func NewFMM(cfg FMMConfig) *FMM {
+	if cfg.NumCPUs <= 0 {
+		panic("splash: NumCPUs must be positive")
+	}
+	if cfg.Particles < int64(cfg.NumCPUs)*fmmParticlesPerBox {
+		panic(fmt.Sprintf("splash: fmm particles=%d too few", cfg.Particles))
+	}
+	if cfg.ParticleBytes <= 0 {
+		cfg.ParticleBytes = 2048
+	}
+	if cfg.RemoteWriteFraction == 0 {
+		cfg.RemoteWriteFraction = 0.3
+	}
+	l := workload.NewLayout()
+	f := &FMM{
+		cfg:       cfg,
+		particles: l.Region(cfg.Particles * cfg.ParticleBytes),
+		r:         workload.NewRNG(cfg.Seed),
+		boxBytes:  1024,
+	}
+	f.boxCount = cfg.Particles / fmmParticlesPerBox
+	f.boxes = l.Region(f.boxCount * f.boxBytes)
+	f.perCPUBox = f.boxCount / int64(cfg.NumCPUs)
+	if f.perCPUBox == 0 {
+		f.perCPUBox = 1
+	}
+	f.st = make([]fmmCPUState, cfg.NumCPUs)
+	return f
+}
+
+// Name implements workload.Generator.
+func (f *FMM) Name() string { return fmt.Sprintf("fmm-%dk", f.cfg.Particles/1024) }
+
+// Footprint implements workload.Generator.
+func (f *FMM) Footprint() int64 { return f.particles.Size + f.boxes.Size }
+
+// multipoleAddr returns the multipole-expansion line of box idx (read by
+// every interaction partner, rewritten once per timestep).
+func (f *FMM) multipoleAddr(idx int64) uint64 { return f.boxes.Slot(idx, f.boxBytes) + 128 }
+
+// localExpAddr returns the local-expansion line of box idx (accumulated
+// into by the box's owner, occasionally by remote processors).
+func (f *FMM) localExpAddr(idx int64) uint64 { return f.boxes.Slot(idx, f.boxBytes) + 256 }
+
+// Next implements workload.Generator.
+func (f *FMM) Next() (workload.Ref, bool) {
+	cpu := f.cpu
+	f.cpu = (f.cpu + 1) % f.cfg.NumCPUs
+	s := &f.st[cpu]
+	myBox := int64(cpu)*f.perCPUBox + s.box
+
+	if s.upward > 0 {
+		// Upward pass: recompute this CPU's own boxes' multipole
+		// expansions once per timestep. These writes are what
+		// periodically invalidate the read-shared multipole lines in
+		// other processors' caches.
+		s.upward--
+		own := int64(cpu)*f.perCPUBox + s.upward%f.perCPUBox
+		return workload.Ref{Addr: f.multipoleAddr(own), Write: true, CPU: cpu, Instrs: 12}, true
+	}
+
+	if s.interact > 0 {
+		// Downward pass interaction list. Odd steps read a partner
+		// box's multipole expansion: read-mostly shared data whose
+		// footprint scales with the box count — resident at the classic
+		// size (256 boxes), far beyond an 8MB cache at 4M particles,
+		// which is why the full-size FMM misses more per instruction
+		// (Table 6). Partners mix spatial neighbors with distant boxes
+		// from the multipole lists.
+		s.interact--
+		neighbor := (myBox + f.r.Intn(27) - 13 + f.boxCount) % f.boxCount
+		if f.r.Chance(0.35) {
+			neighbor = f.r.Intn(f.boxCount)
+		}
+		if s.interact%2 == 1 {
+			return workload.Ref{Addr: f.multipoleAddr(neighbor), Write: false, CPU: cpu, Instrs: 10}, true
+		}
+		// Even steps accumulate into a local expansion — usually this
+		// box's own, sometimes a remote box's (the migratory write that
+		// drives FMM's intervention traffic, Figure 12).
+		target := myBox
+		if f.r.Chance(f.cfg.RemoteWriteFraction) {
+			target = neighbor
+		}
+		ref := workload.Ref{Addr: f.localExpAddr(target), Write: true, CPU: cpu, Instrs: 10}
+		if s.interact == 0 {
+			// Interaction phase done; move to the next box.
+			s.box = (s.box + 1) % f.perCPUBox
+			s.particle = 0
+			if s.box == 0 {
+				s.upward = f.perCPUBox // next timestep's upward pass
+			}
+		}
+		return ref, true
+	}
+
+	// Sweep the particles of the current box (sequential, private). The
+	// sweep is sampled: one emitted reference covers four particles'
+	// worth of position reads and force updates (folded into Instrs), so
+	// the expansion/interaction traffic keeps its real share of the
+	// reference stream.
+	pBase := myBox * fmmParticlesPerBox
+	idx := pBase + s.particle*4
+	a := f.particles.Slot(idx, f.cfg.ParticleBytes)
+	write := s.particle%4 == 3
+	s.particle++
+	if s.particle >= fmmParticlesPerBox/4 {
+		s.interact = 54 // 27 interaction boxes x (read + accumulate)
+	}
+	return workload.Ref{Addr: a, Write: write, CPU: cpu, Instrs: 36}, true
+}

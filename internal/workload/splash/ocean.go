@@ -1,0 +1,158 @@
+package splash
+
+import (
+	"fmt"
+
+	"memories/internal/workload"
+)
+
+// OceanConfig parameterizes the Ocean kernel. The paper runs
+// "OCEAN -n8194": a 8194x8194 double-precision grid per field, 14.5GB
+// across the solver's ~20 field arrays and their multigrid pyramids.
+type OceanConfig struct {
+	NumCPUs int
+	// N is the fine-grid dimension (points per side).
+	N int
+	// Fields is the number of grid-sized arrays the solver maintains
+	// (default 20, sized to reproduce the paper's 14.5GB footprint for
+	// N=8194 including multigrid levels).
+	Fields int
+	Seed   uint64
+}
+
+// Ocean models the multigrid ocean-current solver: red-black stencil
+// sweeps over row-partitioned grids, with coarser multigrid levels swept
+// far more often per byte (they stay cache-resident, giving the smooth
+// miss-ratio-vs-cache-size curve of Figure 11), and nearest-neighbor
+// sharing at partition boundaries only (low intervention traffic,
+// Figure 12).
+type Ocean struct {
+	cfg     OceanConfig
+	levels  []workload.Region // levels[0] is the fine grid for all fields
+	scratch workload.Region   // per-CPU row/column temporaries
+	r       *workload.RNG
+
+	scratchPer int64 // scratch bytes per CPU
+	cpu        int
+	st         []oceanCPUState
+}
+
+type oceanCPUState struct {
+	level      int   // current multigrid level
+	sweep      int   // sweeps completed at this level this cycle
+	off        int64 // byte cursor within this CPU's band
+	neighbors  int   // pending boundary-exchange reads
+	scratchOff int64 // cursor within this CPU's scratch arrays
+	tick       int   // interleave counter for scratch accesses
+}
+
+// multigrid V-cycle schedule: how many sweeps each level gets per cycle.
+// Coarser levels are cheaper, so the solver visits them more times.
+func oceanSweeps(level int) int { return 1 << level }
+
+// NewOcean builds the kernel.
+func NewOcean(cfg OceanConfig) *Ocean {
+	if cfg.NumCPUs <= 0 {
+		panic("splash: NumCPUs must be positive")
+	}
+	if cfg.N < 34 {
+		panic(fmt.Sprintf("splash: ocean N=%d too small", cfg.N))
+	}
+	if cfg.Fields <= 0 {
+		cfg.Fields = 20
+	}
+	l := workload.NewLayout()
+	o := &Ocean{cfg: cfg, r: workload.NewRNG(cfg.Seed)}
+	// Multigrid pyramid: halve the dimension per level until the level
+	// drops below the 1MB region granularity or has fewer than 8 rows
+	// per CPU. The depth of the pyramid below the cache size is what
+	// differentiates scaled and full-size miss rates (Table 6): at the
+	// classic 258-point size a quarter of the sweep traffic lands on
+	// cache-resident coarse grids, at 8194 points almost none does.
+	for n := int64(cfg.N); ; n /= 2 {
+		bytes := n * n * 8 * int64(cfg.Fields)
+		if bytes < 1<<20 || n/int64(cfg.NumCPUs) < 8 {
+			break
+		}
+		o.levels = append(o.levels, l.Region(bytes))
+	}
+	if len(o.levels) == 0 {
+		panic("splash: ocean grid too small for CPU count")
+	}
+	// Per-CPU scratch: the solver's O(n) row/column temporaries and
+	// reduction buffers (about n * 8 bytes per field). At the paper's
+	// 8194-point grid this is ~1.3MB per processor — resident in an 8MB
+	// L2 but not in the 1MB direct-mapped alternative, which is part of
+	// why Table 5's Ocean runtime degrades on the small L2.
+	o.scratchPer = sizeOrMin(round64(int64(cfg.N)*8*int64(cfg.Fields)), 64<<10)
+	o.scratch = l.Region(o.scratchPer * int64(cfg.NumCPUs))
+	o.st = make([]oceanCPUState, cfg.NumCPUs)
+	return o
+}
+
+// Name implements workload.Generator.
+func (o *Ocean) Name() string { return fmt.Sprintf("ocean-n%d", o.cfg.N) }
+
+// Footprint implements workload.Generator.
+func (o *Ocean) Footprint() int64 {
+	total := o.scratch.Size
+	for _, lv := range o.levels {
+		total += lv.Size
+	}
+	return total
+}
+
+// bandBytes is the size of one CPU's row band at the given level.
+func (o *Ocean) bandBytes(level int) int64 {
+	return o.levels[level].Size / int64(o.cfg.NumCPUs)
+}
+
+// Next implements workload.Generator.
+func (o *Ocean) Next() (workload.Ref, bool) {
+	cpu := o.cpu
+	o.cpu = (o.cpu + 1) % o.cfg.NumCPUs
+	s := &o.st[cpu]
+	lv := o.levels[s.level]
+	band := o.bandBytes(s.level)
+	base := int64(cpu) * band
+
+	// Interleave scratch-array traffic with the grid sweeps: every
+	// fourth reference works on the CPU's private temporaries, cycling
+	// through them fast enough that they reward a cache they fit in.
+	s.tick++
+	if s.tick%4 == 0 {
+		a := o.scratch.At(int64(cpu)*o.scratchPer + s.scratchOff)
+		s.scratchOff = (s.scratchOff + 64) % o.scratchPer
+		return workload.Ref{Addr: a, Write: s.tick%8 == 0, CPU: cpu, Instrs: 5}, true
+	}
+
+	// Boundary exchange: at the start of each sweep, read a few lines of
+	// the neighboring CPU's edge rows — the only shared data in Ocean.
+	if s.neighbors > 0 {
+		s.neighbors--
+		nb := (cpu + 1) % o.cfg.NumCPUs
+		a := lv.At(int64(nb)*band + int64(s.neighbors)*64)
+		return workload.Ref{Addr: a, Write: false, CPU: cpu, Instrs: 4}, true
+	}
+
+	// Red-black stencil sweep: sequential read-modify-write through the
+	// band. The five-point stencil's row-above/row-below reads fall in
+	// the same band and are folded into the per-reference instruction
+	// count (they hit L1 for row-major sweeps).
+	a := lv.At(base + s.off)
+	write := s.off%128 == 64 // update every other emitted point
+	s.off += 64
+	if s.off >= band {
+		s.off = 0
+		s.sweep++
+		s.neighbors = 8
+		if s.sweep >= oceanSweeps(s.level) {
+			s.sweep = 0
+			s.level++
+			if s.level >= len(o.levels) {
+				s.level = 0 // next timestep: back to the fine grid
+			}
+		}
+	}
+	return workload.Ref{Addr: a, Write: write, CPU: cpu, Instrs: 6}, true
+}

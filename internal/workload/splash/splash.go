@@ -1,0 +1,155 @@
+// Package splash provides synthetic access-pattern kernels standing in
+// for the SPLASH2 applications the paper runs at full problem sizes
+// (§5.3, Tables 5-6, Figures 11-12): FFT, Ocean, Barnes-Hut, FMM, and
+// Water-Spatial.
+//
+// We cannot execute the real binaries, so each kernel reproduces the
+// memory-system structure that drives the paper's observations:
+//
+//   - total footprint at both the paper's large sizes and the classic
+//     1995 SPLASH2-paper sizes (Table 1);
+//   - hierarchical working sets (so that L3 miss ratio falls smoothly
+//     with cache size, Figure 11);
+//   - per-processor partitioning with the application's characteristic
+//     sharing intensity (FFT/Ocean low, FMM high — Figure 12);
+//   - compute intensity via per-reference instruction counts, so that
+//     misses per 1000 instructions (Table 6) are meaningful.
+//
+// All kernels are infinite streams (iterating timesteps/transforms);
+// experiments bound them with workload.Limit.
+package splash
+
+import "memories/internal/workload"
+
+// Kernel names, used by New and in reports.
+const (
+	NameFFT    = "fft"
+	NameOcean  = "ocean"
+	NameBarnes = "barnes"
+	NameFMM    = "fmm"
+	NameWater  = "water"
+)
+
+// Names lists all kernels in the order the paper's tables use.
+func Names() []string {
+	return []string{NameFMM, NameFFT, NameOcean, NameWater, NameBarnes}
+}
+
+// Size selects a problem-size preset.
+type Size int
+
+const (
+	// SizePaper is the full problem size used in this paper's runs
+	// (Table 5: FMM 4M particles, FFT -m28, Ocean -n8194, Water 125^3,
+	// Barnes 16M bodies).
+	SizePaper Size = iota
+	// SizeClassic is the scaled size used by the original SPLASH2
+	// characterization and the simulation studies of Table 1 (FFT 64K
+	// points, Barnes 16K bodies, Water 512 molecules, ...).
+	SizeClassic
+	// SizeTest is a miniature preset for unit tests and CI.
+	SizeTest
+)
+
+// String returns the preset name.
+func (s Size) String() string {
+	switch s {
+	case SizePaper:
+		return "paper"
+	case SizeClassic:
+		return "classic"
+	case SizeTest:
+		return "test"
+	}
+	return "size(?)"
+}
+
+// New constructs the named kernel at the given size for ncpu processors.
+// It returns nil for unknown names.
+func New(name string, size Size, ncpu int, seed uint64) workload.Generator {
+	switch name {
+	case NameFFT:
+		return NewFFT(FFTConfig{NumCPUs: ncpu, M: fftM(size), Seed: seed})
+	case NameOcean:
+		return NewOcean(OceanConfig{NumCPUs: ncpu, N: oceanN(size), Seed: seed})
+	case NameBarnes:
+		return NewBarnes(BarnesConfig{NumCPUs: ncpu, Bodies: barnesBodies(size), Seed: seed})
+	case NameFMM:
+		return NewFMM(FMMConfig{NumCPUs: ncpu, Particles: fmmParticles(size), Seed: seed})
+	case NameWater:
+		return NewWater(WaterConfig{NumCPUs: ncpu, Molecules: waterMolecules(size), Seed: seed})
+	}
+	return nil
+}
+
+func fftM(s Size) int {
+	switch s {
+	case SizePaper:
+		return 28 // 2^28 points, 12.9GB over three arrays
+	case SizeClassic:
+		return 16 // 64K points
+	default:
+		return 12
+	}
+}
+
+func oceanN(s Size) int {
+	switch s {
+	case SizePaper:
+		return 8194
+	case SizeClassic:
+		return 258
+	default:
+		return 258
+	}
+}
+
+func barnesBodies(s Size) int64 {
+	switch s {
+	case SizePaper:
+		return 16 << 20 // 16M bodies
+	case SizeClassic:
+		return 16 << 10 // 16K bodies
+	default:
+		return 2048
+	}
+}
+
+func fmmParticles(s Size) int64 {
+	switch s {
+	case SizePaper:
+		return 4 << 20 // 4M particles
+	case SizeClassic:
+		return 16 << 10
+	default:
+		return 2048
+	}
+}
+
+func waterMolecules(s Size) int64 {
+	switch s {
+	case SizePaper:
+		return 125 * 125 * 125 // 1.95M molecules (125^3)
+	case SizeClassic:
+		return 512
+	default:
+		return 1000
+	}
+}
+
+// FootprintGB is a reporting convenience: the kernel footprint in decimal
+// gigabytes, the unit Table 5 uses.
+func FootprintGB(g workload.Generator) float64 {
+	return float64(g.Footprint()) / 1e9
+}
+
+// round64 rounds n up to a multiple of 64 so regions pack whole lines.
+func round64(n int64) int64 { return (n + 63) &^ 63 }
+
+// sizeOrMin returns v, or min when v is smaller.
+func sizeOrMin(v, min int64) int64 {
+	if v < min {
+		return min
+	}
+	return v
+}

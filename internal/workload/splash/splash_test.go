@@ -1,0 +1,272 @@
+package splash
+
+import (
+	"testing"
+
+	"memories/internal/workload"
+)
+
+func TestNewKnowsAllNames(t *testing.T) {
+	for _, name := range Names() {
+		g := New(name, SizeTest, 4, 1)
+		if g == nil {
+			t.Fatalf("New(%q) = nil", name)
+		}
+		for i := 0; i < 1000; i++ {
+			ref, ok := g.Next()
+			if !ok {
+				t.Fatalf("%s: stream ended (kernels are infinite)", name)
+			}
+			if ref.CPU < 0 || ref.CPU >= 4 {
+				t.Fatalf("%s: bad cpu %d", name, ref.CPU)
+			}
+			if ref.Instrs == 0 {
+				t.Fatalf("%s: zero instruction count", name)
+			}
+		}
+	}
+	if New("quake", SizeTest, 4, 1) != nil {
+		t.Fatal("New accepted unknown kernel")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a := New(name, SizeTest, 4, 7)
+		b := New(name, SizeTest, 4, 7)
+		for i := 0; i < 5000; i++ {
+			ra, _ := a.Next()
+			rb, _ := b.Next()
+			if ra != rb {
+				t.Fatalf("%s: diverged at ref %d", name, i)
+			}
+		}
+	}
+}
+
+// TestPaperFootprints checks Table 5's memory footprints (decimal GB).
+func TestPaperFootprints(t *testing.T) {
+	cases := []struct {
+		name string
+		want float64 // GB from Table 5
+		tol  float64
+	}{
+		{NameFMM, 8.34, 0.6},
+		{NameFFT, 12.58, 0.6},
+		{NameOcean, 14.5, 0.9},
+		{NameWater, 1.38, 0.15},
+		{NameBarnes, 3.1, 0.3},
+	}
+	for _, c := range cases {
+		g := New(c.name, SizePaper, 8, 1)
+		got := FootprintGB(g)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("%s footprint = %.2fGB, paper says %.2fGB", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassicSizesMuchSmaller(t *testing.T) {
+	for _, name := range Names() {
+		paper := New(name, SizePaper, 8, 1)
+		classic := New(name, SizeClassic, 8, 1)
+		if classic.Footprint()*8 > paper.Footprint() {
+			t.Errorf("%s: classic footprint %.3fGB not much smaller than paper %.3fGB",
+				name, FootprintGB(classic), FootprintGB(paper))
+		}
+	}
+}
+
+func TestKernelsStayInFootprint(t *testing.T) {
+	for _, name := range Names() {
+		g := New(name, SizeTest, 4, 2)
+		// Regions are allocated from 1MB upward, contiguous with 1MB
+		// alignment padding; a generous upper bound is footprint + 64MB.
+		limit := uint64(g.Footprint()) + (64 << 20)
+		for i := 0; i < 50000; i++ {
+			ref, _ := g.Next()
+			if ref.Addr > limit {
+				t.Fatalf("%s: address %#x beyond footprint bound %#x", name, ref.Addr, limit)
+			}
+		}
+	}
+}
+
+func TestFFTMoreInstructionsAtLargerSize(t *testing.T) {
+	small := NewFFT(FFTConfig{NumCPUs: 4, M: 12, Seed: 1})
+	big := NewFFT(FFTConfig{NumCPUs: 4, M: 28, Seed: 1})
+	var smallInstrs, bigInstrs uint64
+	for i := 0; i < 10000; i++ {
+		rs, _ := small.Next()
+		rb, _ := big.Next()
+		smallInstrs += rs.Instrs
+		bigInstrs += rb.Instrs
+	}
+	if bigInstrs <= smallInstrs {
+		t.Fatalf("fft m28 instrs %d not above m12 %d (log-n compute scaling)", bigInstrs, smallInstrs)
+	}
+}
+
+func TestFFTBlockReuse(t *testing.T) {
+	// The blocked compute phase must revisit each line PassesPerBlock
+	// times before moving on; measure unique lines over a window.
+	g := NewFFT(FFTConfig{NumCPUs: 1, M: 14, PassesPerBlock: 4, BlockBytes: 8 << 10, Seed: 1})
+	lines := map[uint64]int{}
+	for i := 0; i < 4*(8<<10)/64; i++ {
+		ref, _ := g.Next()
+		lines[ref.Addr>>6]++
+	}
+	reused := 0
+	for _, n := range lines {
+		if n >= 2 {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("no block reuse observed in fft compute phase")
+	}
+}
+
+func TestOceanMultigridLevels(t *testing.T) {
+	o := NewOcean(OceanConfig{NumCPUs: 4, N: 1024, Seed: 1})
+	if len(o.levels) < 3 {
+		t.Fatalf("ocean built %d levels, want >= 3", len(o.levels))
+	}
+	for i := 1; i < len(o.levels); i++ {
+		if o.levels[i].Size >= o.levels[i-1].Size {
+			t.Fatalf("level %d (%d) not smaller than level %d (%d)",
+				i, o.levels[i].Size, i-1, o.levels[i-1].Size)
+		}
+	}
+}
+
+func TestOceanTouchesAllLevels(t *testing.T) {
+	o := NewOcean(OceanConfig{NumCPUs: 2, N: 256, Seed: 1})
+	touched := make([]bool, len(o.levels))
+	for i := 0; i < 3_000_000; i++ {
+		ref, _ := o.Next()
+		for li, lv := range o.levels {
+			if lv.Contains(ref.Addr) {
+				touched[li] = true
+				break
+			}
+		}
+		all := true
+		for _, tt := range touched {
+			all = all && tt
+		}
+		if all {
+			return
+		}
+	}
+	t.Fatalf("not all multigrid levels touched: %v", touched)
+}
+
+func TestBarnesUpperTreeLevelsAreHot(t *testing.T) {
+	b := NewBarnes(BarnesConfig{NumCPUs: 4, Bodies: 64 << 10, Seed: 1})
+	rootLine := b.cellAddr(0, 0) >> 6
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ref, _ := b.Next()
+		if ref.Addr>>6 == rootLine {
+			hits++
+		}
+	}
+	// Every walk touches the root: walks are ~1/(depth+2) of refs.
+	if hits < n/50 {
+		t.Fatalf("root cell hit %d times in %d refs; tree walks missing", hits, n)
+	}
+}
+
+func TestBarnesWritesBodiesAndCells(t *testing.T) {
+	b := NewBarnes(BarnesConfig{NumCPUs: 2, Bodies: 4096, Seed: 2})
+	bodyWrites, cellWrites := 0, 0
+	for i := 0; i < 200000; i++ {
+		ref, _ := b.Next()
+		if !ref.Write {
+			continue
+		}
+		if b.bodies.Contains(ref.Addr) {
+			bodyWrites++
+		} else if b.tree.Contains(ref.Addr) {
+			cellWrites++
+		}
+	}
+	if bodyWrites == 0 || cellWrites == 0 {
+		t.Fatalf("bodyWrites=%d cellWrites=%d; both phases must write", bodyWrites, cellWrites)
+	}
+}
+
+func TestFMMHasRemoteWrites(t *testing.T) {
+	f := NewFMM(FMMConfig{NumCPUs: 4, Particles: 64 << 10, Seed: 3})
+	perCPUBoxBytes := f.perCPUBox * f.boxBytes
+	remoteWrites := 0
+	for i := 0; i < 200000; i++ {
+		ref, _ := f.Next()
+		if !ref.Write || !f.boxes.Contains(ref.Addr) {
+			continue
+		}
+		owner := int((ref.Addr - f.boxes.Base) / uint64(perCPUBoxBytes))
+		if owner != ref.CPU && owner < f.cfg.NumCPUs {
+			remoteWrites++
+		}
+	}
+	if remoteWrites == 0 {
+		t.Fatal("fmm produced no remote box writes; intervention traffic would be zero")
+	}
+}
+
+func TestWaterNeighborLocality(t *testing.T) {
+	w := NewWater(WaterConfig{NumCPUs: 4, Molecules: 8192, Seed: 4})
+	local, remote := 0, 0
+	part := w.cfg.Molecules / 4 * w.cfg.MoleculeBytes
+	for i := 0; i < 200000; i++ {
+		ref, _ := w.Next()
+		if !w.molecules.Contains(ref.Addr) || ref.Write {
+			continue
+		}
+		ownerPart := int64(ref.Addr-w.molecules.Base) / part
+		if int(ownerPart) == ref.CPU {
+			local++
+		} else {
+			remote++
+		}
+	}
+	if local == 0 || remote == 0 {
+		t.Fatalf("local=%d remote=%d; want mostly-local with some boundary sharing", local, remote)
+	}
+	if float64(local)/float64(local+remote) < 0.7 {
+		t.Fatalf("locality %.2f too low", float64(local)/float64(local+remote))
+	}
+}
+
+func TestWaterHighComputeIntensity(t *testing.T) {
+	w := New(NameWater, SizeTest, 2, 1)
+	f := New(NameOcean, SizeTest, 2, 1)
+	var wi, fi uint64
+	var wc, fc int
+	for i := 0; i < 10000; i++ {
+		rw, _ := w.Next()
+		rf, _ := f.Next()
+		wi += rw.Instrs
+		fi += rf.Instrs
+		wc++
+		fc++
+	}
+	if float64(wi)/float64(wc) <= float64(fi)/float64(fc) {
+		t.Fatal("water should have higher instructions per reference than ocean")
+	}
+}
+
+func TestSizeString(t *testing.T) {
+	if SizePaper.String() != "paper" || SizeClassic.String() != "classic" || SizeTest.String() != "test" {
+		t.Fatal("size names wrong")
+	}
+}
+
+var _ workload.Generator = (*FFT)(nil)
+var _ workload.Generator = (*Ocean)(nil)
+var _ workload.Generator = (*Barnes)(nil)
+var _ workload.Generator = (*FMM)(nil)
+var _ workload.Generator = (*Water)(nil)

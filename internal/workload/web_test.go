@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"memories/internal/addr"
+)
+
+func TestWebDeterministicAndBounded(t *testing.T) {
+	cfg := ScaledWebConfig(4096)
+	a, b := NewWeb(cfg), NewWeb(cfg)
+	limit := uint64(a.Footprint()) + (64 << 20)
+	for i := 0; i < 50000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("web not deterministic at ref %d", i)
+		}
+		if ra.Addr > limit {
+			t.Fatalf("address %#x beyond footprint", ra.Addr)
+		}
+		if ra.CPU < 0 || ra.CPU >= cfg.NumCPUs || ra.Instrs == 0 {
+			t.Fatalf("bad ref %+v", ra)
+		}
+	}
+}
+
+func TestWebTouchesAllRegions(t *testing.T) {
+	w := NewWeb(ScaledWebConfig(4096))
+	var docs, socks, kernel, logs int
+	for i := 0; i < 100000; i++ {
+		ref, _ := w.Next()
+		switch {
+		case w.docs.Contains(ref.Addr):
+			docs++
+		case w.sockets.Contains(ref.Addr):
+			socks++
+		case w.kernel.Contains(ref.Addr):
+			kernel++
+		case w.logreg.Contains(ref.Addr):
+			logs++
+		}
+	}
+	if docs == 0 || socks == 0 || kernel == 0 || logs == 0 {
+		t.Fatalf("regions: docs=%d sockets=%d kernel=%d log=%d", docs, socks, kernel, logs)
+	}
+	// Document streaming dominates a static server.
+	if docs < socks {
+		t.Fatalf("doc reads (%d) should outnumber socket writes (%d)", docs, socks)
+	}
+}
+
+func TestWebLogIsAppendOnly(t *testing.T) {
+	w := NewWeb(ScaledWebConfig(4096))
+	var prev uint64
+	for i := 0; i < 200000; i++ {
+		ref, _ := w.Next()
+		if !w.logreg.Contains(ref.Addr) {
+			continue
+		}
+		if !ref.Write {
+			t.Fatal("log accesses must be writes")
+		}
+		if prev != 0 && ref.Addr <= prev && ref.Addr != w.logreg.Base {
+			t.Fatalf("log went backwards: %#x after %#x", ref.Addr, prev)
+		}
+		prev = ref.Addr
+	}
+}
+
+func TestWebHotDocsConcentrate(t *testing.T) {
+	w := NewWeb(ScaledWebConfig(1024)) // 16MB of docs
+	counts := map[int64]int{}
+	total := 0
+	for i := 0; i < 200000; i++ {
+		ref, _ := w.Next()
+		if w.docs.Contains(ref.Addr) {
+			counts[int64(ref.Addr-w.docs.Base)/w.cfg.MeanDocBytes]++
+			total++
+		}
+	}
+	// Top 10 documents should capture a sizable share of traffic.
+	top := 0
+	for i := 0; i < 10; i++ {
+		best, bestK := 0, int64(-1)
+		for k, n := range counts {
+			if n > best {
+				best, bestK = n, k
+			}
+		}
+		top += best
+		delete(counts, bestK)
+	}
+	if frac := float64(top) / float64(total); frac < 0.10 {
+		t.Fatalf("top-10 docs got %.3f of traffic; popularity skew missing", frac)
+	}
+}
+
+func TestWebFootprintScales(t *testing.T) {
+	if NewWeb(ScaledWebConfig(4096)).Footprint() >= NewWeb(ScaledWebConfig(16)).Footprint() {
+		t.Fatal("scaling did not shrink footprint")
+	}
+	// Minimum clamp.
+	tiny := ScaledWebConfig(1 << 40)
+	if tiny.DocBytes < 4*addr.MB {
+		t.Fatal("doc store clamped below minimum")
+	}
+}

@@ -1,0 +1,160 @@
+package memories
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSessionQuickstartFlow(t *testing.T) {
+	gen := NewTPCC(ScaledTPCCConfig(4096))
+	s, err := NewSession(DefaultHostConfig(), SingleL3Board(16*MB, 8, 128), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := s.Run(100_000); ran != 100_000 {
+		t.Fatalf("ran %d", ran)
+	}
+	v := s.Board.Node(0)
+	if v.Refs() == 0 {
+		t.Fatal("board saw no traffic")
+	}
+	if mr := v.MissRatio(); mr <= 0 || mr >= 1 {
+		t.Fatalf("miss ratio %v", mr)
+	}
+	hs := s.Host.Stats()
+	if hs.Refs != 100_000 || hs.Instructions == 0 {
+		t.Fatalf("host stats %+v", hs)
+	}
+}
+
+func TestMultiConfigBoardGroups(t *testing.T) {
+	cfg := MultiConfigBoard([]int{0, 1, 2, 3, 4, 5, 6, 7}, 128, 4, 4*MB, 16*MB, 64*MB)
+	if len(cfg.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(cfg.Nodes))
+	}
+	groups := map[int]bool{}
+	for _, n := range cfg.Nodes {
+		groups[n.Group] = true
+	}
+	if len(groups) != 3 {
+		t.Fatal("multi-config nodes must be in distinct groups")
+	}
+	gen := NewTPCC(ScaledTPCCConfig(4096))
+	s, err := NewSession(DefaultHostConfig(), cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(200_000)
+	// Larger caches must not miss more.
+	m0, m1, m2 := s.Board.Node(0).MissRatio(), s.Board.Node(1).MissRatio(), s.Board.Node(2).MissRatio()
+	if m1 > m0*1.02 || m2 > m1*1.02 {
+		t.Fatalf("miss ratios not ordered: %v %v %v", m0, m1, m2)
+	}
+}
+
+func TestSessionConsole(t *testing.T) {
+	gen := NewTPCC(ScaledTPCCConfig(4096))
+	s, err := NewSession(DefaultHostConfig(), SingleL3Board(8*MB, 4, 128), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50_000)
+	var out bytes.Buffer
+	if err := s.Console(&out).Execute("nodes"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "8MB 4-way") {
+		t.Fatalf("console output:\n%s", out.String())
+	}
+}
+
+func TestProtocolHelpers(t *testing.T) {
+	for _, tab := range []*ProtocolTable{MESI(), MSI(), MOESI()} {
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParseProtocol("protocol p\nread I * -> S allocate fetch-memory\n"); err == nil {
+		t.Fatal("incomplete protocol accepted")
+	}
+}
+
+func TestSizeHelpers(t *testing.T) {
+	n, err := ParseSize("64MB")
+	if err != nil || n != 64*MB {
+		t.Fatalf("ParseSize: %v %v", n, err)
+	}
+	if FormatSize(8*GB) != "8GB" {
+		t.Fatal("FormatSize")
+	}
+	if _, err := NewGeometry(100, 128, 1); err == nil {
+		t.Fatal("NewGeometry accepted non-pow2")
+	}
+}
+
+func TestWorkloadFacadeConstructors(t *testing.T) {
+	gens := []Generator{
+		NewTPCC(DefaultTPCCConfig()),
+		NewTPCH(DefaultTPCHConfig()),
+		NewWeb(DefaultWebConfig()),
+		NewWeb(ScaledWebConfig(4096)),
+		NewUniform(4, 8*MB, 0.5, 1),
+	}
+	for _, g := range gens {
+		if g.Footprint() <= 0 {
+			t.Errorf("%s: no footprint", g.Name())
+		}
+		ref, ok := g.Next()
+		if !ok || ref.Instrs == 0 {
+			t.Errorf("%s: bad first ref %+v", g.Name(), ref)
+		}
+	}
+}
+
+func TestLoadProtocolFile(t *testing.T) {
+	tab, err := LoadProtocolFile("protocols/moesi.map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "moesi" {
+		t.Fatalf("Name = %q", tab.Name)
+	}
+	if _, err := LoadProtocolFile("protocols/does-not-exist.map"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := t.TempDir() + "/bad.map"
+	if err := os.WriteFile(bad, []byte("protocol p\nread I * -> S allocate fetch-memory\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProtocolFile(bad); err == nil {
+		t.Fatal("incomplete protocol file accepted")
+	}
+}
+
+func TestSplashConstructors(t *testing.T) {
+	if len(SplashKernels()) != 5 {
+		t.Fatal("kernel list")
+	}
+	for _, name := range SplashKernels() {
+		g := NewSplash(name, "test", 4, 1)
+		if g == nil {
+			t.Fatalf("NewSplash(%q) = nil", name)
+		}
+	}
+	if NewSplash("doom", "test", 4, 1) != nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	g := Limit(NewSplash("fft", "test", 4, 1), 10)
+	count := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("Limit: %d", count)
+	}
+}
