@@ -1,0 +1,43 @@
+GO ?= go
+
+# Default developer loop: everything CI runs, in the same order.
+.PHONY: all
+all: vet build test
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+# The race detector is mandatory before merging: the board, injector,
+# and shadow simulator all share counter banks.
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# Run every fuzz target over its seed corpus only (no time-boxed
+# exploration) — this is what CI executes. Use `make fuzz-long` locally
+# to actually explore.
+.PHONY: fuzz-seeds
+fuzz-seeds:
+	$(GO) test ./internal/coherence/ -run 'Fuzz.*'
+
+FUZZTIME ?= 2m
+.PHONY: fuzz-long
+fuzz-long:
+	$(GO) test ./internal/coherence/ -run FuzzParseMapFile -fuzz FuzzParseMapFile -fuzztime $(FUZZTIME)
+
+# The fault-injection acceptance sweep at CI scale (~seconds).
+.PHONY: faults
+faults:
+	$(GO) run ./cmd/experiments -run faults -scale ci
+
+.PHONY: ci
+ci: vet build race fuzz-seeds

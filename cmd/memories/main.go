@@ -69,7 +69,9 @@ func main() {
 	if *hotspots > 0 {
 		cfg := hotspot.DefaultConfig()
 		cfg.Granularity = 4096 // page-level profiling
-		prof = hotspot.MustNew(cfg)
+		if prof, err = hotspot.New(cfg); err != nil {
+			fatal(err)
+		}
 		s.Host.Bus().Attach(prof)
 	}
 	ran := s.Run(*refs)

@@ -8,6 +8,7 @@ import (
 	"memories/internal/cache"
 	"memories/internal/coherence"
 	"memories/internal/core"
+	"memories/internal/faults"
 	"memories/internal/host"
 	"memories/internal/hotspot"
 	"memories/internal/numa"
@@ -65,7 +66,10 @@ func TestIntegrationCaptureReplayMatchesBoard(t *testing.T) {
 // FPGA reprogramming mode) to a live host and confirms it finds the OLTP
 // hot set.
 func TestIntegrationHotspotMode(t *testing.T) {
-	prof := hotspot.MustNew(hotspot.Config{Granularity: 4096, MaxBlocks: 1 << 20})
+	prof, err := hotspot.New(hotspot.Config{Granularity: 4096, MaxBlocks: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := host.MustNew(host.DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
 	h.Bus().Attach(prof)
 	h.Run(200_000)
@@ -130,7 +134,10 @@ func TestIntegrationNUMAMode(t *testing.T) {
 // the board is passive, so observers compose freely.
 func TestIntegrationBoardAndNUMATogether(t *testing.T) {
 	board := core.MustNewBoard(SingleL3Board(8*MB, 4, 128))
-	prof := hotspot.MustNew(hotspot.DefaultConfig())
+	prof, err := hotspot.New(hotspot.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := host.MustNew(host.DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
 	h.Bus().Attach(board)
 	h.Bus().Attach(prof)
@@ -188,6 +195,62 @@ func TestIntegrationRetryProtocolEndToEnd(t *testing.T) {
 	if h.Stats().Retried != board.Counters().Value("buffer.retry-posted") {
 		t.Fatalf("retry accounting disagrees: host %d vs board %d",
 			h.Stats().Retried, board.Counters().Value("buffer.retry-posted"))
+	}
+}
+
+// TestIntegrationFaultInjectedOverflowRetry drives the overflow-retry
+// path with the *stock* 512-entry buffer: an injected transaction burst
+// is the only way to fill it (the paper never saw it fire, and
+// TestIntegrationRetryProtocolEndToEnd confirms nominal traffic keeps it
+// nearly empty). Count-only mode shows the burst genuinely pushes the
+// buffer past its depth; retry mode shows the resulting combined
+// RespRetry reaches the host, which backs off, re-issues, and completes.
+func TestIntegrationFaultInjectedOverflowRetry(t *testing.T) {
+	run := func(retryOnOverflow bool) (*core.Board, *host.Host) {
+		bcfg := SingleL3Board(8*MB, 4, 128)
+		bcfg.RetryOnOverflow = retryOnOverflow
+		board := core.MustNewBoard(bcfg)
+		inj, err := faults.New(board, faults.Config{Seed: 9, BurstProb: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := host.MustNew(host.DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+		h.Bus().Attach(inj)
+		if got := h.Run(100_000); got != 100_000 {
+			t.Fatalf("host stalled at %d refs", got)
+		}
+		board.Flush()
+		if board.Counters().Value("faults.bursts") == 0 {
+			t.Fatal("no bursts injected; raise BurstProb or refs")
+		}
+		return board, h
+	}
+
+	// Count-only mode: the burst drives occupancy beyond the hardware
+	// depth (the model keeps processing, so the high-water mark shows how
+	// far past 512 the burst went).
+	board, h := run(false)
+	if hw := board.Counters().Value("buffer.high-water"); hw <= core.DefaultBufferDepth {
+		t.Fatalf("burst high-water %d never exceeded the %d-entry buffer", hw, core.DefaultBufferDepth)
+	}
+	if board.Counters().Value("buffer.overflow") == 0 {
+		t.Fatal("no overflow events counted")
+	}
+	if h.Stats().Retried != 0 {
+		t.Fatal("count-only mode must stay passive on the bus")
+	}
+
+	// Retry mode: the full buffer posts a combined RespRetry that the
+	// host observes and honors.
+	board, h = run(true)
+	if board.Counters().Value("buffer.retry-posted") == 0 {
+		t.Fatal("full buffer posted no retries")
+	}
+	if h.Stats().Retried == 0 {
+		t.Fatal("host never observed a combined RespRetry")
+	}
+	if h.Stats().RetryExhausted != 0 {
+		t.Fatalf("%d transactions exhausted the retry limit; drain is wedged", h.Stats().RetryExhausted)
 	}
 }
 

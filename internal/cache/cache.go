@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memories/internal/addr"
+	"memories/internal/sdram"
 )
 
 // StateInvalid is the reserved line state meaning "no line present". All
@@ -17,6 +18,10 @@ type Config struct {
 	// Seed initializes the Random replacement generator; ignored for the
 	// deterministic policies.
 	Seed uint64
+	// ECC maintains a SECDED check byte per tag slot so that soft errors
+	// injected with CorruptSlot can be detected and repaired by Scrub.
+	// Off by default; the board enables it for its tag directories.
+	ECC bool
 }
 
 // Stats counts structural cache events. Protocol-level classification
@@ -43,6 +48,7 @@ type Cache struct {
 	geom  addr.Geometry
 	tags  []uint64
 	state []uint8
+	ecc   []uint8 // SECDED check bytes; nil when ECC is disabled
 	repl  replacer
 	stats Stats
 }
@@ -70,12 +76,20 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("cache: unknown policy %v", cfg.Policy)
 	}
 	lines := g.Lines()
-	return &Cache{
+	c := &Cache{
 		geom:  g,
 		tags:  make([]uint64, lines),
 		state: make([]uint8, lines),
 		repl:  r,
-	}, nil
+	}
+	if cfg.ECC {
+		c.ecc = make([]uint8, lines)
+		zero := sdram.EncodeECC(0, StateInvalid)
+		for i := range c.ecc {
+			c.ecc[i] = zero
+		}
+	}
+	return c, nil
 }
 
 // MustNew is New for statically known-good configurations.
@@ -141,6 +155,7 @@ func (c *Cache) SetState(a uint64, s uint8) bool {
 	for w := 0; w < c.geom.Assoc; w++ {
 		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
 			c.state[base+int64(w)] = s
+			c.updateECC(base + int64(w))
 			return true
 		}
 	}
@@ -161,6 +176,7 @@ func (c *Cache) Fill(a uint64, s uint8) (victim Victim, evicted bool) {
 		st := c.state[base+int64(w)]
 		if st != StateInvalid && c.tags[base+int64(w)] == tag {
 			c.state[base+int64(w)] = s
+			c.updateECC(base + int64(w))
 			c.repl.touch(set, w)
 			return Victim{}, false
 		}
@@ -180,6 +196,7 @@ func (c *Cache) Fill(a uint64, s uint8) (victim Victim, evicted bool) {
 	}
 	c.tags[base+int64(way)] = tag
 	c.state[base+int64(way)] = s
+	c.updateECC(base + int64(way))
 	c.repl.fill(set, way)
 	c.stats.Fills++
 	return victim, evicted
@@ -194,6 +211,7 @@ func (c *Cache) Invalidate(a uint64) (prior uint8, found bool) {
 		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
 			prior = c.state[base+int64(w)]
 			c.state[base+int64(w)] = StateInvalid
+			c.updateECC(base + int64(w))
 			c.stats.Invalidates++
 			return prior, true
 		}
@@ -231,5 +249,66 @@ func (c *Cache) ForEachValid(fn func(lineAddr uint64, state uint8)) {
 func (c *Cache) Clear() {
 	for i := range c.state {
 		c.state[i] = StateInvalid
+		c.updateECC(int64(i))
 	}
+}
+
+// updateECC refreshes the check byte of slot i after a legitimate
+// mutation (fault injection bypasses it on purpose).
+func (c *Cache) updateECC(i int64) {
+	if c.ecc != nil {
+		c.ecc[i] = sdram.EncodeECC(c.tags[i], c.state[i])
+	}
+}
+
+// HasECC reports whether the cache maintains SECDED check bytes.
+func (c *Cache) HasECC() bool { return c.ecc != nil }
+
+// SlotCount returns the number of tag slots (sets x ways); fault
+// injection addresses slots by flat index.
+func (c *Cache) SlotCount() int64 { return int64(len(c.state)) }
+
+// CorruptSlot XORs the given masks into the stored tag and state of slot
+// i without updating the ECC sidecar — the software model of an SDRAM
+// soft error. It reports whether the slot held a valid line beforehand.
+func (c *Cache) CorruptSlot(i int64, tagXor uint64, stateXor uint8) bool {
+	valid := c.state[i] != StateInvalid
+	c.tags[i] ^= tagXor
+	c.state[i] ^= stateXor
+	return valid
+}
+
+// ScrubReport summarizes one Scrub pass.
+type ScrubReport struct {
+	Scanned     int64 // slots examined
+	Corrected   int64 // single-bit errors repaired in place
+	Invalidated int64 // uncorrectable entries dropped
+}
+
+// Scrub verifies every slot against its SECDED check byte: single-bit
+// errors (in the tag, the state, or the code itself) are corrected in
+// place; uncorrectable entries are invalidated, which is always safe for
+// the board's non-inclusive emulated caches — the line simply re-misses.
+// Scrub is a no-op when ECC is disabled.
+func (c *Cache) Scrub() ScrubReport {
+	var rep ScrubReport
+	if c.ecc == nil {
+		return rep
+	}
+	for i := range c.state {
+		rep.Scanned++
+		tag, st, res := sdram.CheckECC(c.tags[i], c.state[i], c.ecc[i])
+		switch res {
+		case sdram.ECCOK:
+		case sdram.ECCCorrected:
+			c.tags[i], c.state[i] = tag, st
+			c.ecc[i] = sdram.EncodeECC(tag, st)
+			rep.Corrected++
+		default:
+			c.state[i] = StateInvalid
+			c.ecc[i] = sdram.EncodeECC(c.tags[i], StateInvalid)
+			rep.Invalidated++
+		}
+	}
+	return rep
 }

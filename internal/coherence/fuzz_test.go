@@ -1,0 +1,56 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMapFile throws arbitrary text at the map-file parser. The
+// parser guards the console's protocol-load path, so it must never
+// panic, and any input it accepts must survive a serialize/re-parse
+// round trip (the re-serialized form is the fixed point).
+func FuzzParseMapFile(f *testing.F) {
+	for _, t := range []*Table{MESI(), MSI(), MOESI()} {
+		text, err := MapFileString(t)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(text)
+	}
+	f.Add("protocol p\nread I * -> S -\n")
+	f.Add("protocol p\nread I * -> S fetch\nwrite S hit -> M -\n")
+	f.Add("# comment only\n")
+	f.Add("protocol\n")
+	f.Add("protocol p extra\n")
+	f.Add("read I * -> S\nprotocol late\n")
+	f.Add("read I bogus -> S -\n")
+	f.Add("read I * => S -\n")
+	f.Add("read I * -> S unknown-action\n")
+	f.Add(strings.Repeat("read I * -> S -\n", 100))
+	f.Add("protocol p\nREAD i * -> s -\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ParseMapFileString(input)
+		if err != nil {
+			return
+		}
+		if tab.Name == "" {
+			t.Fatal("accepted a table with no protocol name")
+		}
+		text, err := MapFileString(tab)
+		if err != nil {
+			t.Fatalf("accepted table does not serialize: %v", err)
+		}
+		tab2, err := ParseMapFileString(text)
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\n%s", err, text)
+		}
+		text2, err := MapFileString(tab2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text != text2 {
+			t.Fatalf("round trip not a fixed point:\n--- first\n%s\n--- second\n%s", text, text2)
+		}
+	})
+}

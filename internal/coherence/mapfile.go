@@ -59,13 +59,12 @@ func WriteMapFile(w io.Writer, t *Table) error {
 }
 
 // MapFileString returns the map-file text for t.
-func MapFileString(t *Table) string {
+func MapFileString(t *Table) (string, error) {
 	var sb strings.Builder
 	if err := WriteMapFile(&sb, t); err != nil {
-		// strings.Builder never errors; keep the API honest anyway.
-		panic(err)
+		return "", fmt.Errorf("coherence: serializing protocol %q: %w", t.Name, err)
 	}
-	return sb.String()
+	return sb.String(), nil
 }
 
 // ParseMapFile parses a protocol map file. The returned table is NOT

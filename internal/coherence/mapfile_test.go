@@ -24,7 +24,10 @@ func tablesEqual(a, b *Table) bool {
 func TestMapFileRoundTripBuiltins(t *testing.T) {
 	for _, name := range []string{"msi", "mesi", "moesi"} {
 		orig := Builtin(name)
-		text := MapFileString(orig)
+		text, err := MapFileString(orig)
+		if err != nil {
+			t.Fatalf("%s: serialize: %v", name, err)
+		}
 		parsed, err := ParseMapFileString(text)
 		if err != nil {
 			t.Fatalf("%s: parse: %v\n%s", name, err, text)
@@ -102,8 +105,14 @@ func TestParseMapFileErrors(t *testing.T) {
 }
 
 func TestMapFileOutputIsStable(t *testing.T) {
-	a := MapFileString(MESI())
-	b := MapFileString(MESI())
+	a, err := MapFileString(MESI())
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	b, err := MapFileString(MESI())
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
 	if a != b {
 		t.Fatal("map file serialization not deterministic")
 	}

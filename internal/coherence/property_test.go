@@ -31,7 +31,11 @@ func randomTable(seed int64) *Table {
 func TestMapFileRoundTripRandomTables(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
 		orig := randomTable(seed)
-		parsed, err := ParseMapFileString(MapFileString(orig))
+		text, err := MapFileString(orig)
+		if err != nil {
+			t.Fatalf("seed %d: serialize: %v", seed, err)
+		}
+		parsed, err := ParseMapFileString(text)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

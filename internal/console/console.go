@@ -95,6 +95,13 @@ func (c *Console) Execute(line string) error {
 		c.board.Counters().ResetAll()
 		fmt.Fprintln(c.out, "counters cleared")
 		return nil
+	case "scrub":
+		if !c.board.Config().ECC {
+			return fmt.Errorf("ECC disabled on this board (enable core.Config.ECC)")
+		}
+		corrected, invalidated := c.board.ScrubNow()
+		fmt.Fprintf(c.out, "scrub: %d corrected, %d invalidated\n", corrected, invalidated)
+		return nil
 	case "trace":
 		return c.trace(fields[1:])
 	case "version":
@@ -119,6 +126,7 @@ func (c *Console) help() {
   protocol <i> <msi|mesi|moesi> load a built-in protocol table
   loadmap <i>                   load a protocol map file; end with "end"
   reset-counters                clear the counter bank
+  scrub                         run an ECC scrub pass over every directory
   trace                         trace-capture status
   trace reset                   clear the trace memory
   trace dump <path>             write the captured trace to a file

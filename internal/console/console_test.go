@@ -177,7 +177,10 @@ func TestProtocolCommand(t *testing.T) {
 
 func TestLoadMapInline(t *testing.T) {
 	b := testBoard(t)
-	mapText := coherence.MapFileString(coherence.MSI())
+	mapText, err := coherence.MapFileString(coherence.MSI())
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
 	cmds := append([]string{"loadmap 0"}, strings.Split(mapText, "\n")...)
 	cmds = append(cmds, "end")
 	out := run(t, b, cmds...)

@@ -85,6 +85,16 @@ type Config struct {
 	// memory of this many 8-byte records (0 disables). §2.3 puts the
 	// stock board at 128Mi records (1GB), 1Gi with 8GB DRAM.
 	TraceCapacity int
+	// ECC protects every node's tag-store entries with a SECDED check
+	// byte so that injected (or modeled) SDRAM soft errors can be
+	// detected and repaired. The hardware board had no such protection;
+	// production-length runs need it.
+	ECC bool
+	// ScrubIntervalCycles runs a background ECC scrub pass over every
+	// node directory each time the bus clock advances by this many
+	// cycles (0 disables background scrubbing; ScrubNow remains
+	// available). Requires ECC.
+	ScrubIntervalCycles uint64
 }
 
 // Board is the MemorIES emulator.
@@ -102,10 +112,13 @@ type Board struct {
 	cBufferHigh, cCycles                                *stats.Counter
 	cTraceCaptured, cTraceDropped                       *stats.Counter
 	cRejectedRetried                                    *stats.Counter
+	cScrubPasses                                        *stats.Counter
 	cByCmd                                              []*stats.Counter
 	cPerCPU                                             map[int]*stats.Counter
 	lastCycle                                           uint64
 	justEnqueued                                        bool
+	nextScrub                                           uint64
+	onDrain                                             func(cycle uint64, cmd bus.Command, addr uint64, src int)
 }
 
 // pending is a buffered transaction awaiting directory service.
@@ -127,6 +140,9 @@ func NewBoard(cfg Config) (*Board, error) {
 	}
 	if cfg.BufferDepth < 1 {
 		return nil, fmt.Errorf("core: buffer depth %d invalid", cfg.BufferDepth)
+	}
+	if cfg.ScrubIntervalCycles > 0 && !cfg.ECC {
+		return nil, fmt.Errorf("core: scrub interval requires ECC")
 	}
 	b := &Board{
 		cfg:      cfg,
@@ -188,6 +204,7 @@ func (b *Board) initGlobalCounters() {
 	b.cOverflow = b.bank.Counter("buffer.overflow")
 	b.cRetryPosted = b.bank.Counter("buffer.retry-posted")
 	b.cBufferHigh = b.bank.Counter("buffer.high-water")
+	b.cScrubPasses = b.bank.Counter("scrub.passes")
 	for c := 0; c < bus.NumCommands(); c++ {
 		b.cByCmd = append(b.cByCmd, b.bank.Counter("bus.ops."+bus.Command(c).String()))
 	}
@@ -256,6 +273,13 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 		}
 	}
 
+	// Background scrub: repair tag-store soft errors on a fixed cadence
+	// before they can steer directory transitions.
+	if iv := b.cfg.ScrubIntervalCycles; iv > 0 && tx.Cycle >= b.nextScrub {
+		b.ScrubNow()
+		b.nextScrub = tx.Cycle + iv
+	}
+
 	// Drain whatever the SDRAMs have finished by now, then admit the new
 	// transaction into the lock-step buffer.
 	b.drain(tx.Cycle)
@@ -317,6 +341,9 @@ func (b *Board) drain(now uint64) {
 			n.tags.Schedule(start, n.setOf(p.addr))
 		}
 		b.process(p)
+		if b.onDrain != nil {
+			b.onDrain(p.cycle, p.cmd, p.addr, p.src)
+		}
 		b.queue = b.queue[1:]
 	}
 }
@@ -358,6 +385,59 @@ func (b *Board) process(p pending) {
 		}
 	}
 }
+
+// SetDrainObserver registers fn to be called for every transaction the
+// moment its directory operation is performed (in drain order). The
+// fault-injection layer uses it to keep a golden software shadow in
+// perfect step with the board: the shadow sees exactly the stream the
+// directories saw, after buffering, retries, and injected faults.
+func (b *Board) SetDrainObserver(fn func(cycle uint64, cmd bus.Command, addr uint64, src int)) {
+	b.onDrain = fn
+}
+
+// ScrubNow runs one ECC scrub pass over every node directory and returns
+// the totals. It is a no-op (0, 0) when ECC is disabled.
+func (b *Board) ScrubNow() (corrected, invalidated uint64) {
+	if !b.cfg.ECC {
+		return 0, 0
+	}
+	for _, n := range b.nodes {
+		rep := n.dir.Scrub()
+		n.cECCCorrected.Add(uint64(rep.Corrected))
+		n.cECCInvalidated.Add(uint64(rep.Invalidated))
+		corrected += uint64(rep.Corrected)
+		invalidated += uint64(rep.Invalidated)
+	}
+	b.cScrubPasses.Inc()
+	return corrected, invalidated
+}
+
+// DirectorySlots returns the number of tag slots in node i's directory;
+// fault injectors pick corruption targets from [0, DirectorySlots).
+func (b *Board) DirectorySlots(i int) int64 { return b.nodes[i].dir.SlotCount() }
+
+// CorruptDirectory XORs the given masks into slot `slot` of node i's
+// directory without updating its ECC byte — the model of an SDRAM soft
+// error striking the tag store. It reports whether the slot held a valid
+// line. The board's own counters do not record the event; the injector
+// owns fault accounting.
+func (b *Board) CorruptDirectory(i int, slot int64, tagXor uint64, stateXor uint8) bool {
+	return b.nodes[i].dir.CorruptSlot(slot, tagXor, stateXor)
+}
+
+// StallTagStores freezes every node controller's SDRAM channel for the
+// given number of cycles starting at the board's last observed bus cycle,
+// modeling a transient controller stall. Buffered transactions keep
+// accumulating while the channel is down, which is how injected stalls
+// push the transaction buffers toward overflow.
+func (b *Board) StallTagStores(cycles uint64) {
+	for _, n := range b.nodes {
+		n.tags.Stall(b.lastCycle, cycles)
+	}
+}
+
+// TagStoreStats returns the SDRAM timing-model statistics of node i.
+func (b *Board) TagStoreStats(i int) sdram.Stats { return b.nodes[i].tags.Stats() }
 
 // Reprogram reconfigures node i at run time (console "cache parameter
 // setting"): the directory is cleared, counters are preserved. The new

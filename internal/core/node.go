@@ -34,6 +34,9 @@ type node struct {
 	cIntervModSup         *stats.Counter
 	cIntervShrSup         *stats.Counter
 	cUpgrades             *stats.Counter
+	cECCCorrected         *stats.Counter
+	cECCInvalidated       *stats.Counter
+	cWildState            *stats.Counter
 	perCPUHit             map[int]*stats.Counter
 	perCPUMiss            map[int]*stats.Counter
 	// cTransition counts every (operation, prior state, snoop input)
@@ -53,7 +56,7 @@ func newNode(b *Board, nc NodeConfig, profileBucket uint64) (*node, error) {
 	if len(nc.CPUs) == 0 {
 		return nil, fmt.Errorf("core: node %q owns no CPUs", nc.Name)
 	}
-	dir, err := cache.New(cache.Config{Geometry: nc.Geometry, Policy: nc.Policy})
+	dir, err := cache.New(cache.Config{Geometry: nc.Geometry, Policy: nc.Policy, ECC: b.cfg.ECC})
 	if err != nil {
 		return nil, fmt.Errorf("core: node %q: %v", nc.Name, err)
 	}
@@ -95,6 +98,9 @@ func (n *node) initCounters(bank *stats.Bank) {
 	n.cIntervModSup = bank.Counter(p + "intervention.supplied.mod")
 	n.cIntervShrSup = bank.Counter(p + "intervention.supplied.shr")
 	n.cUpgrades = bank.Counter(p + "upgrades")
+	n.cECCCorrected = bank.Counter(p + "ecc.corrected")
+	n.cECCInvalidated = bank.Counter(p + "ecc.invalidated")
+	n.cWildState = bank.Counter(p + "ecc.wild-state")
 	n.perCPUHit = make(map[int]*stats.Counter, len(n.cfg.CPUs))
 	n.perCPUMiss = make(map[int]*stats.Counter, len(n.cfg.CPUs))
 	for _, id := range n.cfg.CPUs {
@@ -119,6 +125,21 @@ func (n *node) initCounters(bank *stats.Bank) {
 
 // setOf maps an address to this node's directory set (for SDRAM banking).
 func (n *node) setOf(a uint64) int64 { return n.cfg.Geometry.Index(a) }
+
+// sanitize guards the protocol lookup against corrupted directory states:
+// an injected (or real) soft error can leave a state byte outside the
+// protocol's state space, which MustLookup would treat as programmer
+// error. A wild state means the entry is garbage, so the controller drops
+// the line — the same repair the scrub pass applies to uncorrectable
+// entries — counts the event, and proceeds as a miss.
+func (n *node) sanitize(a uint64, cur coherence.State) coherence.State {
+	if int(cur) < coherence.NumStates {
+		return cur
+	}
+	n.cWildState.Inc()
+	n.dir.Invalidate(a)
+	return coherence.Invalid
+}
 
 // opFor classifies a bus command as a protocol operation.
 func opFor(cmd bus.Command, local bool) (coherence.Op, bool) {
@@ -149,7 +170,7 @@ func (n *node) local(p pending, snoopIn coherence.SnoopIn) {
 	if !ok {
 		return
 	}
-	cur := coherence.State(n.dir.Access(p.addr))
+	cur := n.sanitize(p.addr, coherence.State(n.dir.Access(p.addr)))
 	entry := n.cfg.Protocol.MustLookup(op, cur, snoopIn)
 	n.cTransition[op][cur][snoopIn].Inc()
 
@@ -217,7 +238,7 @@ func (n *node) snoop(p pending) {
 	if !ok {
 		return
 	}
-	cur := coherence.State(n.dir.Probe(p.addr))
+	cur := n.sanitize(p.addr, coherence.State(n.dir.Probe(p.addr)))
 	entry := n.cfg.Protocol.MustLookup(op, cur, coherence.SnoopNone)
 	n.cTransition[op][cur][coherence.SnoopNone].Inc()
 

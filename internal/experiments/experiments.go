@@ -105,6 +105,13 @@ type Preset struct {
 	Fig12LineB   int64
 	Fig12Refs    uint64
 	SplashSeed   uint64
+
+	// Fault-injection experiment (not from the paper: it stresses the
+	// reliability claims §3.3 only asserts).
+	FaultsRefs        uint64    // workload references per run
+	FaultsScrubCycles uint64    // background scrub interval, bus cycles
+	FaultsRates       []float64 // tag-store bit-flip probabilities per bus op
+	FaultsBurstProb   float64   // burst probability for the overflow run
 }
 
 // PresetFor returns the parameters for a scale.
@@ -128,6 +135,9 @@ func PresetFor(s Scale) Preset {
 			Fig11L1Bytes: 64 * addr.KB, Fig11L2Bytes: 8 * addr.MB, Fig11Refs: 50_000_000,
 			Fig12Size: splash.SizePaper, Fig12CacheMB: 64, Fig12LineB: 1024, Fig12Refs: 50_000_000,
 			SplashSeed: 3,
+			FaultsRefs: 20_000_000, FaultsScrubCycles: 100_000,
+			FaultsRates:     []float64{1e-5, 1e-4, 1e-3, 1e-2},
+			FaultsBurstProb: 1e-4,
 		}
 	case ScaleDefault:
 		return Preset{
@@ -147,6 +157,9 @@ func PresetFor(s Scale) Preset {
 			Fig11L1Bytes: 16 * addr.KB, Fig11L2Bytes: 256 * addr.KB, Fig11Refs: 4_000_000,
 			Fig12Size: splash.SizeClassic, Fig12CacheMB: 64, Fig12LineB: 1024, Fig12Refs: 4_000_000,
 			SplashSeed: 3,
+			FaultsRefs: 1_500_000, FaultsScrubCycles: 50_000,
+			FaultsRates:     []float64{1e-4, 1e-3, 1e-2},
+			FaultsBurstProb: 1e-3,
 		}
 	default: // ScaleCI
 		return Preset{
@@ -166,6 +179,9 @@ func PresetFor(s Scale) Preset {
 			Fig11L1Bytes: 16 * addr.KB, Fig11L2Bytes: 256 * addr.KB, Fig11Refs: 2_000_000,
 			Fig12Size: splash.SizeClassic, Fig12CacheMB: 64, Fig12LineB: 1024, Fig12Refs: 2_000_000,
 			SplashSeed: 3,
+			FaultsRefs: 400_000, FaultsScrubCycles: 25_000,
+			FaultsRates:     []float64{1e-3, 1e-2},
+			FaultsBurstProb: 2e-3,
 		}
 	}
 }
@@ -211,6 +227,7 @@ var registry = map[string]runner{
 	"table6": {"SPLASH2 miss rates: scaled vs full problem sizes", runTable6},
 	"fig11":  {"L3 miss ratio vs L3 size for SPLASH2 applications", runFig11},
 	"fig12":  {"Where an L2 miss is satisfied (FFT, Ocean, FMM)", runFig12},
+	"faults": {"Fault injection: tag-store soft errors, scrub, and forced overflow retries", runFaults},
 }
 
 // IDs returns the experiment identifiers in a stable order.

@@ -122,6 +122,13 @@ type Stats struct {
 	Invalidations uint64 // lines lost to other CPUs' writes
 	IOOps         uint64 // injected non-memory transactions
 	Retried       uint64 // transactions re-issued after a bus retry
+	// RetryExhausted counts transactions abandoned after retryLimit
+	// re-issues. A nonzero value means some device retried the same
+	// operation ~1000 times in a row — on real hardware this is a hung
+	// bus; in the model it flags a board (or injected fault) stuck in a
+	// permanent-retry state, and the affected reference proceeds as if it
+	// had completed so the run can finish and be diagnosed from counters.
+	RetryExhausted uint64
 }
 
 // cpu is one processor with its private hierarchy. The coherence cache is
@@ -336,11 +343,18 @@ const (
 // issueWithRetry puts a transaction on the bus, honoring the 6xx retry
 // protocol: a combined Retry response means some device (in practice only
 // an overflowing MemorIES board) could not accept it, and the requester
-// must back off and re-issue.
+// must back off and re-issue. After retryLimit consecutive retries the
+// host gives up on the transaction — counting the event in
+// Stats.RetryExhausted — and treats it as complete, trading accuracy for
+// forward progress exactly once per pathological operation.
 func (h *Host) issueWithRetry(tx *bus.Transaction) bus.SnoopResponse {
 	for attempt := 0; ; attempt++ {
 		resp := h.bus.Issue(tx)
-		if resp != bus.RespRetry || attempt >= retryLimit {
+		if resp != bus.RespRetry {
+			return resp
+		}
+		if attempt >= retryLimit {
+			h.stats.RetryExhausted++
 			return resp
 		}
 		h.stats.Retried++

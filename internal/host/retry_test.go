@@ -1,0 +1,63 @@
+package host
+
+import (
+	"testing"
+
+	"memories/internal/bus"
+	"memories/internal/workload"
+)
+
+// permaRetrier answers Retry to every memory operation forever — the
+// pathological device the retry limit exists for (a wedged board that
+// can never drain its buffers).
+type permaRetrier struct{ snoops uint64 }
+
+func (p *permaRetrier) BusID() int { return -1 }
+func (p *permaRetrier) Snoop(tx *bus.Transaction) bus.SnoopResponse {
+	if !tx.Cmd.IsMemoryOp() {
+		return bus.RespNull
+	}
+	p.snoops++
+	return bus.RespRetry
+}
+
+// TestRetryExhaustionAgainstPermanentRetrier: the host must neither
+// livelock nor wrap — after retryLimit attempts per operation it gives
+// up, counts RetryExhausted, and completes the run.
+func TestRetryExhaustionAgainstPermanentRetrier(t *testing.T) {
+	gen := &scriptGen{refs: []workload.Ref{
+		{Addr: 0x10000, CPU: 0},
+		{Addr: 0x20000, CPU: 1, Write: true},
+	}}
+	h := MustNew(testConfig(), gen)
+	pr := &permaRetrier{}
+	h.Bus().Attach(pr)
+
+	if got := h.Run(2); got != 2 {
+		t.Fatalf("host livelocked: processed %d of 2 refs", got)
+	}
+	st := h.Stats()
+	// Read miss -> 1 bus op; write miss -> RWITM. Each is retried
+	// retryLimit times, then abandoned.
+	if want := uint64(2 * retryLimit); st.Retried != want {
+		t.Fatalf("Retried = %d, want %d", st.Retried, want)
+	}
+	if st.RetryExhausted != 2 {
+		t.Fatalf("RetryExhausted = %d, want 2", st.RetryExhausted)
+	}
+	if pr.snoops != uint64(2*(retryLimit+1)) {
+		t.Fatalf("retrier snooped %d times, want %d", pr.snoops, 2*(retryLimit+1))
+	}
+}
+
+// TestRetryExhaustedZeroInHealthyRuns: the counter must stay zero when
+// nothing on the bus misbehaves.
+func TestRetryExhaustedZeroInHealthyRuns(t *testing.T) {
+	h := MustNew(testConfig(), workload.NewUniform(workload.UniformConfig{
+		NumCPUs: 4, FootprintByte: 1 << 24, WriteFraction: 0.3, Seed: 2,
+	}))
+	h.Run(20_000)
+	if st := h.Stats(); st.Retried != 0 || st.RetryExhausted != 0 {
+		t.Fatalf("healthy run recorded retries: %+v", st)
+	}
+}

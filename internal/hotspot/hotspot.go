@@ -61,15 +61,6 @@ func New(cfg Config) (*Profiler, error) {
 	return &Profiler{cfg: cfg, blocks: make(map[uint64]*BlockStats)}, nil
 }
 
-// MustNew is New for known-good configurations.
-func MustNew(cfg Config) *Profiler {
-	p, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // BusID implements bus.Snooper (passive).
 func (p *Profiler) BusID() int { return -1 }
 

@@ -7,6 +7,15 @@ import (
 	"memories/internal/workload"
 )
 
+func mustNew(t *testing.T, cfg Config) *Profiler {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("hotspot.New: %v", err)
+	}
+	return p
+}
+
 func snoop(p *Profiler, cmd bus.Command, a uint64) {
 	p.Snoop(&bus.Transaction{Cmd: cmd, Addr: a, Size: 128})
 }
@@ -21,7 +30,7 @@ func TestValidation(t *testing.T) {
 }
 
 func TestCountsReadsAndWritesPerBlock(t *testing.T) {
-	p := MustNew(Config{Granularity: 128, MaxBlocks: 100})
+	p := mustNew(t, Config{Granularity: 128, MaxBlocks: 100})
 	snoop(p, bus.Read, 0x100)
 	snoop(p, bus.Read, 0x17f) // same 128B block
 	snoop(p, bus.RWITM, 0x100)
@@ -40,7 +49,7 @@ func TestCountsReadsAndWritesPerBlock(t *testing.T) {
 }
 
 func TestPageGranularity(t *testing.T) {
-	p := MustNew(Config{Granularity: 4096, MaxBlocks: 100})
+	p := mustNew(t, Config{Granularity: 4096, MaxBlocks: 100})
 	snoop(p, bus.Read, 0x0)
 	snoop(p, bus.Read, 0xFFF)
 	snoop(p, bus.Read, 0x1000)
@@ -50,7 +59,7 @@ func TestPageGranularity(t *testing.T) {
 }
 
 func TestNonMemoryIgnored(t *testing.T) {
-	p := MustNew(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	snoop(p, bus.IORead, 0x100)
 	snoop(p, bus.Interrupt, 0x100)
 	if p.Total() != 0 || p.Tracked() != 0 {
@@ -59,7 +68,7 @@ func TestNonMemoryIgnored(t *testing.T) {
 }
 
 func TestTableCapacity(t *testing.T) {
-	p := MustNew(Config{Granularity: 128, MaxBlocks: 4})
+	p := mustNew(t, Config{Granularity: 128, MaxBlocks: 4})
 	for i := 0; i < 10; i++ {
 		snoop(p, bus.Read, uint64(i)*128)
 	}
@@ -77,7 +86,7 @@ func TestTableCapacity(t *testing.T) {
 }
 
 func TestTopOrderingAndTies(t *testing.T) {
-	p := MustNew(Config{Granularity: 128, MaxBlocks: 100})
+	p := mustNew(t, Config{Granularity: 128, MaxBlocks: 100})
 	for i := 0; i < 3; i++ {
 		snoop(p, bus.Read, 0x300)
 	}
@@ -96,7 +105,7 @@ func TestTopOrderingAndTies(t *testing.T) {
 }
 
 func TestConcentrationDetectsZipfHotSet(t *testing.T) {
-	p := MustNew(Config{Granularity: 128, MaxBlocks: 1 << 20})
+	p := mustNew(t, Config{Granularity: 128, MaxBlocks: 1 << 20})
 	gen := workload.NewZipfian(workload.ZipfConfig{
 		NumCPUs: 1, FootprintByte: 64 << 20, Skew: 1.4, Seed: 5,
 	})
@@ -124,7 +133,7 @@ func TestConcentrationDetectsZipfHotSet(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	p := MustNew(DefaultConfig())
+	p := mustNew(t, DefaultConfig())
 	snoop(p, bus.Read, 0)
 	p.Reset()
 	if p.Total() != 0 || p.Tracked() != 0 || p.Untracked() != 0 {

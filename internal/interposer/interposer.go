@@ -208,15 +208,6 @@ func New(cmap *CommandMap, target bus.Snooper) (*Card, error) {
 	return &Card{cmap: cmap, target: target}, nil
 }
 
-// MustNew is New for known-good arguments.
-func MustNew(cmap *CommandMap, target bus.Snooper) *Card {
-	c, err := New(cmap, target)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Stats returns a copy of the card statistics.
 func (c *Card) Stats() Stats { return c.stats }
 

@@ -22,6 +22,15 @@ func testBoard(t *testing.T) *core.Board {
 	}}})
 }
 
+func mustNewCard(t *testing.T, cmap *CommandMap, target bus.Snooper) *Card {
+	t.Helper()
+	c, err := New(cmap, target)
+	if err != nil {
+		t.Fatalf("interposer.New: %v", err)
+	}
+	return c
+}
+
 func TestFSBCommandRoundTrip(t *testing.T) {
 	for c := FSBCommand(0); int(c) < NumFSBCommands(); c++ {
 		got, err := ParseFSBCommand(c.String())
@@ -60,7 +69,7 @@ func TestP6MapTranslations(t *testing.T) {
 
 func TestCardForwardsToBoard(t *testing.T) {
 	b := testBoard(t)
-	card := MustNew(P6Map(), b)
+	card := mustNewCard(t, P6Map(), b)
 	cycle := uint64(0)
 	issue := func(cmd FSBCommand, a uint64, agent int) {
 		cycle += 100
@@ -108,7 +117,7 @@ func TestCardPropagatesRetry(t *testing.T) {
 		RetryOnOverflow: true,
 	}
 	b := core.MustNewBoard(bcfg)
-	card := MustNew(P6Map(), b)
+	card := mustNewCard(t, P6Map(), b)
 	sawRetry := false
 	for i := 0; i < 32; i++ {
 		resp := card.Observe(Transaction{Cmd: BRL, Addr: uint64(i) * 128, AgentID: 0, Size: 64, Cycle: uint64(i)})

@@ -1,0 +1,131 @@
+package sdram
+
+import "math/bits"
+
+// SECDED protection for tag-store entries.
+//
+// The paper's board keeps the emulated caches' tag/state/LRU tables in
+// commodity SDRAM DIMMs and never discusses soft errors — a defensible
+// omission for week-long lab runs, but not for the months-long production
+// deployments this reproduction targets. Each 72-bit directory entry
+// (64-bit tag + 8-bit state) is protected by an 8-bit SECDED code: a
+// 7-bit Hamming check over the data plus one overall-parity bit. A single
+// flipped bit anywhere in the 80-bit codeword is corrected exactly; any
+// even number of flips is detected as uncorrectable, and the scrub pass
+// repairs the entry by invalidating it (safe in a non-inclusive emulated
+// cache: the line simply re-misses).
+
+// ECCResult classifies the outcome of an ECC check.
+type ECCResult int
+
+const (
+	// ECCOK: the entry matches its check byte.
+	ECCOK ECCResult = iota
+	// ECCCorrected: a single-bit error was found and corrected; the
+	// returned tag/state are the repaired values.
+	ECCCorrected
+	// ECCUncorrectable: a multi-bit error was detected; the entry cannot
+	// be trusted and must be invalidated.
+	ECCUncorrectable
+)
+
+// eccDataBits is the protected payload width: 64 tag bits + 8 state bits.
+const eccDataBits = 72
+
+var (
+	// eccPos[k] is the 1-based codeword position of data bit k (positions
+	// that are powers of two belong to the check bits).
+	eccPos [eccDataBits]uint8
+	// eccBitAt inverts eccPos: codeword position -> data bit, -1 if the
+	// position holds a check bit or is out of range.
+	eccBitAt [128]int8
+	// eccTab[i][b] folds byte i of the payload (bytes 0-7 = tag, byte 8 =
+	// state) into a 7-bit syndrome (low bits) and a parity bit (bit 7).
+	eccTab [9][256]uint8
+)
+
+func init() {
+	for i := range eccBitAt {
+		eccBitAt[i] = -1
+	}
+	pos := uint8(1)
+	for k := 0; k < eccDataBits; k++ {
+		pos++
+		for pos&(pos-1) == 0 {
+			pos++
+		}
+		eccPos[k] = pos
+		eccBitAt[pos] = int8(k)
+	}
+	for byteIdx := 0; byteIdx < 9; byteIdx++ {
+		for v := 0; v < 256; v++ {
+			var folded uint8
+			for b := 0; b < 8; b++ {
+				if v>>b&1 == 1 {
+					folded ^= eccPos[byteIdx*8+b] | 0x80
+				}
+			}
+			eccTab[byteIdx][v] = folded
+		}
+	}
+}
+
+// eccRaw returns the data syndrome (low 7 bits) and data parity (bit 7)
+// of a payload.
+func eccRaw(tag uint64, state uint8) uint8 {
+	return eccTab[0][tag&0xff] ^
+		eccTab[1][tag>>8&0xff] ^
+		eccTab[2][tag>>16&0xff] ^
+		eccTab[3][tag>>24&0xff] ^
+		eccTab[4][tag>>32&0xff] ^
+		eccTab[5][tag>>40&0xff] ^
+		eccTab[6][tag>>48&0xff] ^
+		eccTab[7][tag>>56&0xff] ^
+		eccTab[8][state]
+}
+
+// EncodeECC computes the SECDED check byte for a directory entry: low 7
+// bits are the Hamming check bits, bit 7 is overall parity over the whole
+// codeword (data + check bits).
+func EncodeECC(tag uint64, state uint8) uint8 {
+	r := eccRaw(tag, state)
+	check := r & 0x7f
+	par := r>>7 ^ uint8(bits.OnesCount8(check))&1
+	return check | par<<7
+}
+
+// CheckECC verifies a directory entry against its stored check byte. On a
+// single-bit error (in the data, the check bits, or the parity bit
+// itself) it returns the corrected tag and state with ECCCorrected; on a
+// multi-bit error it returns the inputs unchanged with ECCUncorrectable.
+func CheckECC(tag uint64, state uint8, code uint8) (uint64, uint8, ECCResult) {
+	r := eccRaw(tag, state)
+	storedCheck := code & 0x7f
+	synd := (r & 0x7f) ^ storedCheck
+	total := r>>7 ^ uint8(bits.OnesCount8(storedCheck))&1 ^ code>>7
+	if synd == 0 {
+		if total == 0 {
+			return tag, state, ECCOK
+		}
+		// Only the overall parity bit flipped; the data is intact.
+		return tag, state, ECCCorrected
+	}
+	if total == 0 {
+		// Nonzero syndrome with even overall parity: two (or an even
+		// number of) bits flipped.
+		return tag, state, ECCUncorrectable
+	}
+	if synd&(synd-1) == 0 {
+		// A check bit flipped; the data is intact (re-encoding heals the
+		// stored code).
+		return tag, state, ECCCorrected
+	}
+	if k := eccBitAt[synd]; k >= 0 {
+		if k < 64 {
+			return tag ^ 1<<uint(k), state, ECCCorrected
+		}
+		return tag, state ^ 1<<uint(k-64), ECCCorrected
+	}
+	// Syndrome points outside the codeword: corrupt beyond repair.
+	return tag, state, ECCUncorrectable
+}

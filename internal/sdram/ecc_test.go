@@ -1,0 +1,107 @@
+package sdram
+
+import "testing"
+
+// eccSamples is a spread of payloads: corners, walking bits, and a few
+// pseudo-random values.
+func eccSamples() []struct {
+	tag   uint64
+	state uint8
+} {
+	out := []struct {
+		tag   uint64
+		state uint8
+	}{
+		{0, 0}, {^uint64(0), 0xff}, {0, 4}, {1, 1}, {0xdeadbeefcafe, 3},
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 16; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out = append(out, struct {
+			tag   uint64
+			state uint8
+		}{x, uint8(x >> 56)})
+	}
+	return out
+}
+
+func TestECCCleanRoundTrip(t *testing.T) {
+	for _, s := range eccSamples() {
+		code := EncodeECC(s.tag, s.state)
+		tag, st, res := CheckECC(s.tag, s.state, code)
+		if res != ECCOK || tag != s.tag || st != s.state {
+			t.Fatalf("clean check of (%#x,%#x) = (%#x,%#x,%v)", s.tag, s.state, tag, st, res)
+		}
+	}
+}
+
+// TestECCSingleBitExhaustive flips every one of the 80 codeword bits (72
+// data + 8 check) for every sample and demands exact correction.
+func TestECCSingleBitExhaustive(t *testing.T) {
+	for _, s := range eccSamples() {
+		code := EncodeECC(s.tag, s.state)
+		for bit := 0; bit < 80; bit++ {
+			tag, state, c := s.tag, s.state, code
+			switch {
+			case bit < 64:
+				tag ^= 1 << uint(bit)
+			case bit < 72:
+				state ^= 1 << uint(bit-64)
+			default:
+				c ^= 1 << uint(bit-72)
+			}
+			gotTag, gotState, res := CheckECC(tag, state, c)
+			if res != ECCCorrected {
+				t.Fatalf("bit %d of (%#x,%#x): result %v, want corrected", bit, s.tag, s.state, res)
+			}
+			if gotTag != s.tag || gotState != s.state {
+				t.Fatalf("bit %d of (%#x,%#x): corrected to (%#x,%#x)", bit, s.tag, s.state, gotTag, gotState)
+			}
+		}
+	}
+}
+
+// TestECCDoubleBitDetected flips every pair of data bits for a handful of
+// samples: SECDED must flag them uncorrectable, never "correct" into a
+// third value silently.
+func TestECCDoubleBitDetected(t *testing.T) {
+	samples := eccSamples()[:4]
+	for _, s := range samples {
+		code := EncodeECC(s.tag, s.state)
+		for a := 0; a < 72; a++ {
+			for b := a + 1; b < 72; b++ {
+				tag, state := s.tag, s.state
+				for _, bit := range []int{a, b} {
+					if bit < 64 {
+						tag ^= 1 << uint(bit)
+					} else {
+						state ^= 1 << uint(bit-64)
+					}
+				}
+				if _, _, res := CheckECC(tag, state, code); res != ECCUncorrectable {
+					t.Fatalf("bits %d+%d of (%#x,%#x): result %v, want uncorrectable", a, b, s.tag, s.state, res)
+				}
+			}
+		}
+	}
+}
+
+func TestTagStoreStall(t *testing.T) {
+	ts := New(DefaultConfig())
+	ts.Schedule(0, 0)
+	free := ts.NextFree()
+	ts.Stall(free, 500)
+	if got := ts.NextFree(); got != free+500 {
+		t.Fatalf("stall moved horizon to %d, want %d", got, free+500)
+	}
+	if ts.Stats().InjectedStallCycles != 500 {
+		t.Fatalf("InjectedStallCycles = %d", ts.Stats().InjectedStallCycles)
+	}
+	// A stall issued in the past still pushes forward from "now".
+	ts.Stall(ts.NextFree()+1000, 100)
+	if got, want := ts.NextFree(), free+500+1000+100; got != uint64(want) {
+		t.Fatalf("late stall horizon %d, want %d", got, want)
+	}
+}

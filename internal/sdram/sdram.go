@@ -42,10 +42,11 @@ func DefaultConfig() Config {
 
 // Stats counts tag-store activity.
 type Stats struct {
-	Ops           uint64 // operations performed
-	BusyCycles    uint64 // cycles the channel was occupied
-	BankConflicts uint64 // ops delayed by a busy bank beyond the channel gap
-	StallCycles   uint64 // total cycles ops waited beyond their arrival
+	Ops                 uint64 // operations performed
+	BusyCycles          uint64 // cycles the channel was occupied
+	BankConflicts       uint64 // ops delayed by a busy bank beyond the channel gap
+	StallCycles         uint64 // total cycles ops waited beyond their arrival
+	InjectedStallCycles uint64 // cycles of externally injected controller stalls
 }
 
 // TagStore is the timing model for one node controller's tag/state SDRAM.
@@ -81,6 +82,19 @@ func (t *TagStore) NextFree() uint64 { return t.channelFree }
 // Idle reports whether an operation arriving at cycle now would start
 // immediately.
 func (t *TagStore) Idle(now uint64) bool { return t.channelFree <= now }
+
+// Stall pushes the channel-free horizon forward by the given number of
+// cycles from now, modeling a transient node-controller stall (a hung
+// refresh, a re-calibration, an injected fault). Buffered transactions
+// keep queueing while the channel is stalled, which is how fault
+// injection drives the transaction buffers toward overflow.
+func (t *TagStore) Stall(now, cycles uint64) {
+	if t.channelFree < now {
+		t.channelFree = now
+	}
+	t.channelFree += cycles
+	t.stats.InjectedStallCycles += cycles
+}
 
 // Schedule issues a directory operation for the given set at cycle now and
 // returns the cycle at which it completes. Operations are serviced in call

@@ -38,6 +38,7 @@ import (
 	"memories/internal/coherence"
 	"memories/internal/console"
 	"memories/internal/core"
+	"memories/internal/faults"
 	"memories/internal/host"
 	"memories/internal/workload"
 	"memories/internal/workload/splash"
@@ -240,6 +241,39 @@ func MultiConfigBoard(cpus []int, lineBytes int64, assoc int, sizes ...int64) Bo
 		})
 	}
 	return BoardConfig{Nodes: nodes}
+}
+
+// Fault injection (DESIGN.md §4b): a deterministic injector at the
+// bus→board boundary plus the board's own self-healing (SECDED ECC and
+// background scrub on the SDRAM tag store).
+type (
+	// FaultConfig parameterizes the fault injector.
+	FaultConfig = faults.Config
+	// FaultInjector perturbs the snoop stream and tag store.
+	FaultInjector = faults.Injector
+	// DivergenceReport compares the board against its golden shadow.
+	DivergenceReport = faults.DivergenceReport
+)
+
+// NewFaultSession builds a session whose bus stream passes through a
+// fault injector before reaching the board. Enable bcfg.ECC (and
+// bcfg.ScrubIntervalCycles) to let the board heal injected tag-store
+// corruption; set fcfg.Shadow to track divergence from a golden model.
+func NewFaultSession(hcfg HostConfig, bcfg BoardConfig, fcfg FaultConfig, gen Generator) (*Session, *FaultInjector, error) {
+	b, err := core.NewBoard(bcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	inj, err := faults.New(b, fcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := host.New(hcfg, gen)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Bus().Attach(inj)
+	return &Session{Host: h, Board: b}, inj, nil
 }
 
 // Session wires a workload, a modeled host, and a MemorIES board.

@@ -29,6 +29,32 @@ func TestSessionQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFaultSessionHealsAndDetects(t *testing.T) {
+	bcfg := SingleL3Board(1*MB, 4, 128)
+	bcfg.ECC = true
+	bcfg.ScrubIntervalCycles = 10_000
+	s, inj, err := NewFaultSession(DefaultHostConfig(), bcfg,
+		FaultConfig{Seed: 1, BitFlipProb: 0.02, Shadow: true},
+		NewTPCC(ScaledTPCCConfig(4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := s.Run(60_000); ran != 60_000 {
+		t.Fatalf("ran %d", ran)
+	}
+	if s.Board.Counters().Value("faults.bitflips") == 0 {
+		t.Fatal("injector inactive")
+	}
+	healed := s.Board.Counters().Value("nodea.ecc.corrected") +
+		s.Board.Counters().Value("nodea.ecc.invalidated")
+	if healed == 0 {
+		t.Fatal("ECC scrub healed nothing")
+	}
+	if rep := inj.CheckDivergence(); float64(rep.Delta) > 0.001*float64(s.Board.Node(0).Refs()) {
+		t.Fatalf("scrubbed board drifted: %+v", rep)
+	}
+}
+
 func TestMultiConfigBoardGroups(t *testing.T) {
 	cfg := MultiConfigBoard([]int{0, 1, 2, 3, 4, 5, 6, 7}, 128, 4, 4*MB, 16*MB, 64*MB)
 	if len(cfg.Nodes) != 3 {
