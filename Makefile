@@ -34,10 +34,41 @@ FUZZTIME ?= 2m
 fuzz-long:
 	$(GO) test ./internal/coherence/ -run FuzzParseMapFile -fuzz FuzzParseMapFile -fuzztime $(FUZZTIME)
 
-# The fault-injection acceptance sweep at CI scale (~seconds).
+# The fault-injection acceptance sweep at CI scale (~seconds), run
+# serially (-parallel 1) so the output is the deterministic golden run.
 .PHONY: faults
 faults:
-	$(GO) run ./cmd/experiments -run faults -scale ci
+	$(GO) run ./cmd/experiments -run faults -scale ci -parallel 1
+
+# Coverage with a ratcheted floor (ci/coverage-floor.txt). Raise the
+# floor when coverage grows; CI fails if total coverage drops below it.
+.PHONY: cover-check
+cover-check:
+	$(GO) test -coverprofile=cover.out ./...
+	sh ci/check-coverage.sh cover.out
+
+# Benchmarks, matching the CI bench job's invocation.
+BENCHTIME ?= 1000x
+BENCHCOUNT ?= 6
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -cpu 1 . | tee bench.txt
+
+# Refresh the committed benchmark baseline (do this on the CI runner
+# class you gate on; medians of -count runs absorb scheduling noise).
+.PHONY: bench-baseline
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'Table3|Fig8|BoardSnoopParallel' -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -cpu 1 . | tee ci/bench-baseline.txt
+
+# Compare bench.txt against the committed baseline: >10% median ns/op
+# regression on a Table3/Fig8 kernel fails.
+.PHONY: bench-check
+bench-check:
+	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8' -threshold 0.10
+
+.PHONY: lint
+lint:
+	golangci-lint run
 
 .PHONY: ci
-ci: vet build race fuzz-seeds
+ci: vet build race fuzz-seeds cover-check

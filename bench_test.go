@@ -371,6 +371,61 @@ func BenchmarkAblationLockStep(b *testing.B) {
 	})
 }
 
+// --- Sharded snoop pipeline ---
+
+// BenchmarkBoardSnoopParallel drives a four-node board through the
+// sharded pipeline. Run with -cpu 1,2,4,8: the shard count follows
+// GOMAXPROCS, so the -cpu 1 run is the serial baseline and the ratio of
+// ns/op across -cpu values is the pipeline speedup (the bench CI job
+// checks it). The missratio metric must be identical at every -cpu —
+// sharding is deterministic — which the CI job also checks.
+func BenchmarkBoardSnoopParallel(b *testing.B) {
+	var nodes []core.NodeConfig
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, core.NodeConfig{
+			Name:     string(rune('a' + i)),
+			CPUs:     []int{2 * i, 2*i + 1},
+			Geometry: addr.MustGeometry(16*addr.MB, 128, 8),
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+		})
+	}
+	sb, err := core.NewShardedBoard(core.Config{Nodes: nodes}, core.ShardedConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 64 * addr.MB, WriteFraction: 0.3, Seed: 7})
+	txs := make([]bus.Transaction, b.N)
+	cycle := uint64(0)
+	for i := range txs {
+		ref, _ := gen.Next()
+		cmd := bus.Read
+		if ref.Write {
+			cmd = bus.RWITM
+		}
+		cycle += 48
+		txs[i] = bus.Transaction{Cmd: cmd, Addr: ref.Addr &^ 127, Size: 128, SrcID: ref.CPU, Cycle: cycle}
+	}
+	b.ResetTimer()
+	sb.Start()
+	f := sb.NewFeeder()
+	for i := range txs {
+		f.Snoop(txs[i])
+	}
+	f.Flush()
+	sb.Stop()
+	b.StopTimer()
+	var misses, refs uint64
+	for i := 0; i < sb.NumNodes(); i++ {
+		misses += sb.Node(i).Misses()
+		refs += sb.Node(i).Refs()
+	}
+	if refs > 0 {
+		b.ReportMetric(float64(misses)/float64(refs), "missratio")
+	}
+	b.ReportMetric(float64(sb.Shards()), "shards")
+}
+
 // AblationSDRAMPacing compares tag-store timings: the stock 42%-of-bus
 // model against a hypothetical full-speed SDRAM, measuring queue pressure.
 func BenchmarkAblationSDRAMPacing(b *testing.B) {

@@ -1,0 +1,142 @@
+// Command benchdiff is the CI benchmark gate. It parses `go test -bench`
+// output with nothing but the Go toolchain (no benchstat install),
+// aggregates -count repetitions by median, and:
+//
+//   - compares -current against -baseline, failing on any benchmark
+//     matching -filter whose median ns/op regressed more than -threshold;
+//   - optionally checks that the -speedup benchmark's highest -cpu
+//     variant is at least -min-speedup times faster than its lowest, and
+//     that -parity metrics are bit-identical across -cpu variants;
+//   - optionally writes a JSON artifact of summaries and deltas.
+//
+// Typical CI usage:
+//
+//	go test -run '^$' -bench . -benchtime 1000x -count 6 . > bench.txt
+//	benchdiff -baseline ci/bench-baseline.txt -current bench.txt \
+//	    -filter 'Table3|Fig8' -threshold 0.10 -json BENCH_2026-01-02.json
+//	benchdiff -current bench.txt -speedup BenchmarkBoardSnoopParallel \
+//	    -min-speedup 2.5 -parity missratio
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"memories/internal/benchfmt"
+)
+
+type artifact struct {
+	Current   []benchfmt.Summary `json:"current"`
+	Baseline  []benchfmt.Summary `json:"baseline,omitempty"`
+	Deltas    []benchfmt.Delta   `json:"deltas,omitempty"`
+	Speedup   float64            `json:"speedup,omitempty"`
+	Threshold float64            `json:"threshold"`
+	Filter    string             `json:"filter"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline bench output to compare against")
+		currentPath  = flag.String("current", "", "current bench output (required)")
+		threshold    = flag.Float64("threshold", 0.10, "relative ns/op regression that fails the gate")
+		filter       = flag.String("filter", "Table3|Fig8", "regexp of benchmark names the gate guards")
+		jsonPath     = flag.String("json", "", "write a JSON artifact of summaries and deltas")
+		speedup      = flag.String("speedup", "", "benchmark whose -cpu scaling to check")
+		minSpeedup   = flag.Float64("min-speedup", 2.5, "minimum highest-vs-lowest -cpu speedup")
+		parity       = flag.String("parity", "", "metric that must be identical across -cpu variants of -speedup")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fatal(fmt.Errorf("-current is required"))
+	}
+
+	current := mustLoad(*currentPath)
+	art := artifact{Current: current, Threshold: *threshold, Filter: *filter}
+	failed := false
+
+	if *baselinePath != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fatal(fmt.Errorf("bad -filter: %v", err))
+		}
+		art.Baseline = mustLoad(*baselinePath)
+		art.Deltas = benchfmt.Compare(art.Baseline, current, *threshold, re)
+		if len(art.Deltas) == 0 {
+			fatal(fmt.Errorf("no benchmarks matching %q found in both files", *filter))
+		}
+		for _, d := range art.Deltas {
+			status := "ok"
+			if d.Regressed {
+				status = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("%-50s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n",
+				name(d.Key), d.Old, d.New, (d.Ratio-1)*100, status)
+		}
+	}
+
+	if *speedup != "" {
+		ratio, lo, hi, err := benchfmt.Speedup(current, *speedup)
+		if err != nil {
+			fatal(err)
+		}
+		art.Speedup = ratio
+		fmt.Printf("%s: %.2fx speedup (-cpu %d vs -cpu %d), floor %.2fx\n", *speedup, ratio, hi, lo, *minSpeedup)
+		if ratio < *minSpeedup {
+			fmt.Printf("FAIL: speedup below floor\n")
+			failed = true
+		}
+		if *parity != "" {
+			if err := benchfmt.ParityError(current, *speedup, *parity); err != nil {
+				fmt.Printf("FAIL: %v\n", err)
+				failed = true
+			} else {
+				fmt.Printf("%s: %s identical across -cpu variants\n", *speedup, *parity)
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func name(k benchfmt.Key) string {
+	if k.Procs == 1 {
+		return k.Name
+	}
+	return fmt.Sprintf("%s-%d", k.Name, k.Procs)
+}
+
+func mustLoad(path string) []benchfmt.Summary {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rs, err := benchfmt.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rs) == 0 {
+		fatal(fmt.Errorf("%s contains no benchmark lines", path))
+	}
+	return benchfmt.Summarize(rs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

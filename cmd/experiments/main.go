@@ -4,7 +4,8 @@
 //	experiments -run fig9       # one experiment (comma-separate for more)
 //	experiments -scale ci       # the fast preset the test suite uses
 //	experiments -scale paper    # the paper's own parameters (very long)
-//	experiments -parallel 4     # run up to 4 experiments concurrently
+//	experiments -parallel 4     # up to 4 concurrent experiments / sweep points
+//	experiments -parallel 1     # fully serial: the deterministic golden run
 //	experiments -list           # show available experiment IDs
 //	experiments -csv            # emit CSV instead of aligned tables
 package main
@@ -34,7 +35,7 @@ func main() {
 		scaleID  = flag.String("scale", "default", "scale preset: ci, default, paper")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiments running concurrently")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker bound, both across experiments and across sweep points within one; 1 is the serial golden run (bit-identical results at any setting)")
 	)
 	flag.Parse()
 
@@ -61,8 +62,10 @@ func main() {
 		}
 	}
 
-	// Run experiments concurrently (each is single-threaded and
-	// independent), bounded by a semaphore; report in stable order.
+	// Run experiments concurrently (each independent, internally
+	// parallel up to the same bound), bounded by a semaphore; report in
+	// stable order. Every sweep point builds its own board, host, and
+	// seeded generator, so the output is identical at any -parallel.
 	results := make([]outcome, len(ids))
 	sem := make(chan struct{}, *parallel)
 	var wg sync.WaitGroup
@@ -73,7 +76,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := experiments.Run(id, scale)
+			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel})
 			results[i] = outcome{id: id, res: res, err: err, elapsed: time.Since(start)}
 		}(i, id)
 	}

@@ -1,0 +1,225 @@
+// Package benchfmt parses `go test -bench` output and compares runs, so
+// the CI benchmark gate needs no tooling beyond the Go toolchain itself.
+// It understands the standard line format
+//
+//	BenchmarkName[-procs] <iters> <value> ns/op [<value> <unit>]...
+//
+// aggregates repeated runs (-count=N) by median, and reports regressions
+// against a baseline file beyond a relative threshold.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name without the trailing -procs suffix.
+	Name string
+	// Procs is GOMAXPROCS for the run (the -N name suffix; 1 if absent).
+	Procs int
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64
+	// Metrics holds every other reported unit (missratio, B/op, ...).
+	Metrics map[string]float64
+}
+
+// Key identifies a benchmark variant across runs.
+type Key struct {
+	Name  string
+	Procs int
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// Parse reads benchmark lines from r, ignoring everything else (goos
+// headers, PASS/ok trailers).
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+		if m := procSuffix.FindStringSubmatch(res.Name); m != nil {
+			res.Procs, _ = strconv.Atoi(m[1])
+			res.Name = strings.TrimSuffix(res.Name, m[0])
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value in %q: %v", line, err)
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+			} else {
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary is the per-variant aggregate of repeated runs.
+type Summary struct {
+	Key
+	// Runs is how many lines were aggregated.
+	Runs int
+	// NsPerOp is the median ns/op across runs.
+	NsPerOp float64
+	// Metrics maps each extra unit to its median.
+	Metrics map[string]float64
+}
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// Summarize groups results by (name, procs) and takes medians, returning
+// summaries sorted by name then procs.
+func Summarize(results []Result) []Summary {
+	byKey := map[Key][]Result{}
+	for _, r := range results {
+		k := Key{r.Name, r.Procs}
+		byKey[k] = append(byKey[k], r)
+	}
+	out := make([]Summary, 0, len(byKey))
+	for k, rs := range byKey {
+		s := Summary{Key: k, Runs: len(rs), Metrics: map[string]float64{}}
+		ns := make([]float64, len(rs))
+		units := map[string][]float64{}
+		for i, r := range rs {
+			ns[i] = r.NsPerOp
+			for u, v := range r.Metrics {
+				units[u] = append(units[u], v)
+			}
+		}
+		s.NsPerOp = median(ns)
+		for u, vs := range units {
+			s.Metrics[u] = median(vs)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Procs < out[j].Procs
+	})
+	return out
+}
+
+// Delta is one baseline-vs-current comparison.
+type Delta struct {
+	Key
+	// Old and New are the median ns/op of baseline and current.
+	Old, New float64
+	// Ratio is New/Old; 1.20 means 20% slower than baseline.
+	Ratio float64
+	// Regressed is true when Ratio exceeds the gate's threshold.
+	Regressed bool
+}
+
+// Compare matches current summaries against baseline ones (by key,
+// restricted to names matching filter when non-nil) and flags any whose
+// ns/op grew by more than threshold (0.10 = +10%). Benchmarks present on
+// only one side are skipped: the gate guards kernels that exist in both.
+func Compare(baseline, current []Summary, threshold float64, filter *regexp.Regexp) []Delta {
+	base := map[Key]Summary{}
+	for _, s := range baseline {
+		base[s.Key] = s
+	}
+	var out []Delta
+	for _, cur := range current {
+		if filter != nil && !filter.MatchString(cur.Name) {
+			continue
+		}
+		b, ok := base[cur.Key]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		d := Delta{Key: cur.Key, Old: b.NsPerOp, New: cur.NsPerOp, Ratio: cur.NsPerOp / b.NsPerOp}
+		d.Regressed = d.Ratio > 1+threshold
+		out = append(out, d)
+	}
+	return out
+}
+
+// Speedup returns the ns/op ratio between the lowest- and highest-procs
+// variants of name (serial time / parallel time), and the procs of each.
+func Speedup(summaries []Summary, name string) (ratio float64, loProcs, hiProcs int, err error) {
+	var lo, hi *Summary
+	for i := range summaries {
+		s := &summaries[i]
+		if s.Name != name {
+			continue
+		}
+		if lo == nil || s.Procs < lo.Procs {
+			lo = s
+		}
+		if hi == nil || s.Procs > hi.Procs {
+			hi = s
+		}
+	}
+	if lo == nil || hi == nil || lo.Procs == hi.Procs {
+		return 0, 0, 0, fmt.Errorf("benchfmt: need at least two -cpu variants of %s", name)
+	}
+	if hi.NsPerOp == 0 {
+		return 0, 0, 0, fmt.Errorf("benchfmt: %s-%d reports 0 ns/op", name, hi.Procs)
+	}
+	return lo.NsPerOp / hi.NsPerOp, lo.Procs, hi.Procs, nil
+}
+
+// ParityError returns a non-nil error if the named metric differs across
+// the -cpu variants of a benchmark — the determinism check for the
+// sharded pipeline's missratio.
+func ParityError(summaries []Summary, name, metric string) error {
+	var have bool
+	var first float64
+	var firstProcs int
+	for _, s := range summaries {
+		if s.Name != name {
+			continue
+		}
+		v, ok := s.Metrics[metric]
+		if !ok {
+			return fmt.Errorf("benchfmt: %s-%d does not report %s", name, s.Procs, metric)
+		}
+		if !have {
+			have, first, firstProcs = true, v, s.Procs
+		} else if v != first {
+			return fmt.Errorf("benchfmt: %s %s differs across -cpu: %v at -cpu %d vs %v at -cpu %d",
+				name, metric, first, firstProcs, v, s.Procs)
+		}
+	}
+	if !have {
+		return fmt.Errorf("benchfmt: no variants of %s found", name)
+	}
+	return nil
+}

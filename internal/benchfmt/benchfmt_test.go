@@ -1,0 +1,152 @@
+package benchfmt
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: memories
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable3BoardSnoop    	    1000	       501.0 ns/op	         0.5600 missratio
+BenchmarkTable3BoardSnoop    	    1000	       499.0 ns/op	         0.5600 missratio
+BenchmarkTable3BoardSnoop    	    1000	       520.0 ns/op	         0.5600 missratio
+BenchmarkFig8MultiConfigSweep	    1000	      2000 ns/op	         0.1200 missratio16MB
+BenchmarkAblationBufferDepth/depth512 	 1000	 300.0 ns/op
+BenchmarkBoardSnoopParallel  	    1000	      1200 ns/op	         0.5605 missratio	         1.000 shards
+BenchmarkBoardSnoopParallel-8	    1000	       400.0 ns/op	         0.5605 missratio	         8.000 shards
+PASS
+ok  	memories	1.234s
+`
+
+func parseSample(t *testing.T) []Summary {
+	t.Helper()
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Summarize(rs)
+}
+
+func find(t *testing.T, ss []Summary, name string, procs int) Summary {
+	t.Helper()
+	for _, s := range ss {
+		if s.Name == name && s.Procs == procs {
+			return s
+		}
+	}
+	t.Fatalf("no summary for %s-%d", name, procs)
+	return Summary{}
+}
+
+func TestParseAndSummarize(t *testing.T) {
+	ss := parseSample(t)
+	snoop := find(t, ss, "BenchmarkTable3BoardSnoop", 1)
+	if snoop.Runs != 3 || snoop.NsPerOp != 501.0 {
+		t.Fatalf("median of 3 runs = %+v", snoop)
+	}
+	if snoop.Metrics["missratio"] != 0.56 {
+		t.Fatalf("missratio = %v", snoop.Metrics)
+	}
+	// The -procs suffix is split off; sub-benchmark names survive. The
+	// depth512 name must not have its trailing digits eaten as procs.
+	if find(t, ss, "BenchmarkAblationBufferDepth/depth512", 1).NsPerOp != 300 {
+		t.Fatal("sub-benchmark with numeric tail misparsed")
+	}
+	par := find(t, ss, "BenchmarkBoardSnoopParallel", 8)
+	if par.NsPerOp != 400 {
+		t.Fatalf("procs variant = %+v", par)
+	}
+}
+
+// TestCompareFlagsSyntheticSlowdown is the gate's own acceptance test: a
+// synthetic 20% slowdown of a Table3/Fig8 kernel must trip the 10%
+// threshold, while run-to-run noise within the threshold must not.
+func TestCompareFlagsSyntheticSlowdown(t *testing.T) {
+	base := parseSample(t)
+	filter := regexp.MustCompile(`Table3|Fig8`)
+
+	slow := parseSample(t)
+	for i := range slow {
+		if slow[i].Name == "BenchmarkTable3BoardSnoop" {
+			slow[i].NsPerOp *= 1.20
+		}
+	}
+	deltas := Compare(base, slow, 0.10, filter)
+	var tripped int
+	for _, d := range deltas {
+		if d.Regressed {
+			tripped++
+			if d.Name != "BenchmarkTable3BoardSnoop" {
+				t.Fatalf("wrong benchmark flagged: %+v", d)
+			}
+		}
+	}
+	if tripped != 1 {
+		t.Fatalf("synthetic 20%% slowdown tripped %d gates, want 1 (deltas %+v)", tripped, deltas)
+	}
+
+	noisy := parseSample(t)
+	for i := range noisy {
+		noisy[i].NsPerOp *= 1.05
+	}
+	for _, d := range Compare(base, noisy, 0.10, filter) {
+		if d.Regressed {
+			t.Fatalf("5%% noise tripped the 10%% gate: %+v", d)
+		}
+	}
+
+	// The filter keeps unrelated benchmarks out of the gate entirely.
+	for _, d := range deltas {
+		if !filter.MatchString(d.Name) {
+			t.Fatalf("unfiltered benchmark compared: %+v", d)
+		}
+	}
+}
+
+func TestSpeedupAndParity(t *testing.T) {
+	ss := parseSample(t)
+	ratio, lo, hi, err := Speedup(ss, "BenchmarkBoardSnoopParallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 1 || hi != 8 || ratio != 3.0 {
+		t.Fatalf("speedup = %v (procs %d->%d)", ratio, lo, hi)
+	}
+	if err := ParityError(ss, "BenchmarkBoardSnoopParallel", "missratio"); err != nil {
+		t.Fatal(err)
+	}
+	// Break parity and expect an error.
+	for i := range ss {
+		if ss[i].Name == "BenchmarkBoardSnoopParallel" && ss[i].Procs == 8 {
+			ss[i].Metrics["missratio"] = 0.6
+		}
+	}
+	if err := ParityError(ss, "BenchmarkBoardSnoopParallel", "missratio"); err == nil {
+		t.Fatal("missratio divergence not detected")
+	}
+	if _, _, _, err := Speedup(ss, "BenchmarkTable3BoardSnoop"); err == nil {
+		t.Fatal("speedup with one variant should error")
+	}
+}
+
+func TestParseRejectsBadValue(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX \t 100 \t nan7 ns/op\n"))
+	if err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	rs, err := Parse(strings.NewReader(fmt.Sprintf(
+		"BenchmarkY \t 10 \t %d ns/op\nBenchmarkY \t 10 \t %d ns/op\n", 100, 200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Summarize(rs)[0].NsPerOp; got != 150 {
+		t.Fatalf("even median = %v", got)
+	}
+}

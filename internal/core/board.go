@@ -118,11 +118,12 @@ type Board struct {
 	lastCycle                                           uint64
 	justEnqueued                                        bool
 	nextScrub                                           uint64
-	onDrain                                             func(cycle uint64, cmd bus.Command, addr uint64, src int)
+	onDrain                                             func(seq, cycle uint64, cmd bus.Command, addr uint64, src int)
 }
 
 // pending is a buffered transaction awaiting directory service.
 type pending struct {
+	seq   uint64
 	cycle uint64
 	cmd   bus.Command
 	addr  uint64
@@ -293,7 +294,7 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 		// equivalent of the buffer never actually losing work).
 	}
 	b.cAccepted.Inc()
-	b.queue = append(b.queue, pending{cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
+	b.queue = append(b.queue, pending{seq: tx.Seq, cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
 	b.justEnqueued = true
 	if hw := uint64(len(b.queue)); hw > b.cBufferHigh.Value() {
 		b.cBufferHigh.Reset()
@@ -342,7 +343,7 @@ func (b *Board) drain(now uint64) {
 		}
 		b.process(p)
 		if b.onDrain != nil {
-			b.onDrain(p.cycle, p.cmd, p.addr, p.src)
+			b.onDrain(p.seq, p.cycle, p.cmd, p.addr, p.src)
 		}
 		b.queue = b.queue[1:]
 	}
@@ -390,8 +391,10 @@ func (b *Board) process(p pending) {
 // moment its directory operation is performed (in drain order). The
 // fault-injection layer uses it to keep a golden software shadow in
 // perfect step with the board: the shadow sees exactly the stream the
-// directories saw, after buffering, retries, and injected faults.
-func (b *Board) SetDrainObserver(fn func(cycle uint64, cmd bus.Command, addr uint64, src int)) {
+// directories saw, after buffering, retries, and injected faults. The
+// seq argument is the transaction's bus issue sequence number; the
+// sharded pipeline's merge stage keys on it to restore global order.
+func (b *Board) SetDrainObserver(fn func(seq, cycle uint64, cmd bus.Command, addr uint64, src int)) {
 	b.onDrain = fn
 }
 

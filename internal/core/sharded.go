@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/stats"
+)
+
+// This file implements the sharded snoop pipeline: a parallel execution
+// layer over the lock-step Board that splits the tag-lookup/state-update
+// hot path into address-interleaved shards, one worker goroutine each.
+//
+// Sharding is by set-index bits. The shard selector is the low
+// shardBits of the line-granular address, taken just above the largest
+// line offset among the configured nodes, so that
+//
+//   - every cache line maps to exactly one shard (no line is ever split
+//     across shards), and
+//   - every node's directory sets partition cleanly across shards: shard
+//     s owns exactly the sets whose index is ≡ s modulo the shard count.
+//
+// Each shard therefore owns a disjoint slice of every node's SDRAM
+// tag/state directory — including its ECC scrub — and runs the full
+// local+snoop group protocol for its addresses without ever reading or
+// writing another shard's state. That is what makes the snoop hot path
+// lock-free: the only synchronization is the fan-out channel handoff,
+// and the only shared-state operation is the final counter aggregation
+// after the workers have quiesced.
+//
+// Determinism: a shard processes its channel FIFO, so the per-shard
+// transaction order is the feed order restricted to that shard. Every
+// directory outcome (hit/miss, eviction, snoop intervention) depends
+// only on the per-set reference order, and each set lives in exactly
+// one shard — so a pipelined run produces bit-identical per-node
+// counters to a serial Board fed the same stream, regardless of how
+// goroutines interleave. Only the queue-occupancy telemetry
+// ("buffer.*") differs, because each shard paces its own slice of the
+// SDRAM channel instead of one channel pacing everything.
+
+// DefaultBatchSize is the fan-out granularity: transactions are handed
+// to shard workers in batches to amortize channel synchronization.
+const DefaultBatchSize = 128
+
+// DefaultQueueDepth is the per-shard channel capacity, in batches.
+const DefaultQueueDepth = 64
+
+// ShardedConfig tunes the parallel pipeline around a board Config.
+type ShardedConfig struct {
+	// Shards is the number of address-interleaved shards; it must be a
+	// power of two. Zero selects GOMAXPROCS rounded down to a power of
+	// two. The count is clamped so that every node keeps at least one
+	// set per shard (tiny directories cannot split eight ways).
+	Shards int
+	// BatchSize is the fan-out batch granularity (default
+	// DefaultBatchSize).
+	BatchSize int
+	// QueueDepth is the per-shard channel capacity in batches (default
+	// DefaultQueueDepth). It bounds feeder run-ahead and with it the
+	// pipeline's memory footprint.
+	QueueDepth int
+}
+
+// DrainEvent is one directory operation as replayed by the merge stage,
+// in global issue order.
+type DrainEvent struct {
+	Seq   uint64
+	Cycle uint64
+	Cmd   bus.Command
+	Addr  uint64
+	Src   int
+}
+
+// ShardedBoard runs one logical MemorIES board as a set of
+// address-interleaved shard boards with a fan-out/merge pipeline around
+// them. Construct with NewShardedBoard; feed either synchronously with
+// Snoop (no goroutines, the `-parallel 1` golden path) or through
+// Start/NewFeeder/Stop for the pipelined mode.
+type ShardedBoard struct {
+	cfg       Config
+	scfg      ShardedConfig
+	shards    []*Board
+	shardBits uint
+	hashShift uint
+
+	started bool
+	stopped bool
+	chans   []chan []bus.Transaction
+	wg      sync.WaitGroup
+	pool    sync.Pool
+
+	observer func(DrainEvent)
+	events   [][]DrainEvent // per-shard drain logs, merged at Stop/Flush
+}
+
+// NewShardedBoard validates the configuration and builds one shard
+// board per shard. The board Config must not enable features that
+// require a synchronous or globally ordered view of the stream:
+// RetryOnOverflow (the retry response cannot be delivered from a
+// pipeline stage back into the bus cycle that produced it),
+// TraceCapacity, and ProfileBucketCycles are rejected.
+func NewShardedBoard(cfg Config, scfg ShardedConfig) (*ShardedBoard, error) {
+	switch {
+	case cfg.RetryOnOverflow:
+		return nil, fmt.Errorf("core: sharded board cannot post overflow retries (responses are asynchronous)")
+	case cfg.TraceCapacity > 0:
+		return nil, fmt.Errorf("core: sharded board does not support trace capture")
+	case cfg.ProfileBucketCycles > 0:
+		return nil, fmt.Errorf("core: sharded board does not support miss-ratio profiling")
+	}
+	if scfg.Shards == 0 {
+		scfg.Shards = pow2Floor(runtime.GOMAXPROCS(0))
+	}
+	if scfg.Shards < 1 || !addr.IsPow2(int64(scfg.Shards)) {
+		return nil, fmt.Errorf("core: shard count %d is not a power of two", scfg.Shards)
+	}
+	if scfg.BatchSize <= 0 {
+		scfg.BatchSize = DefaultBatchSize
+	}
+	if scfg.QueueDepth <= 0 {
+		scfg.QueueDepth = DefaultQueueDepth
+	}
+
+	// Validate the node set once (NewBoard will re-validate per shard).
+	probe, err := NewBoard(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// The shard selector must sit inside every node's set-index bit
+	// range: at or above the largest line offset, and below the top of
+	// the smallest (lineBits+indexBits) span. Clamp the shard count to
+	// whatever the tightest node allows.
+	hashShift := uint(0)
+	maxBits := ^uint(0)
+	for _, nc := range probe.Config().Nodes {
+		lineBits := addr.Log2(nc.Geometry.LineSize)
+		if lineBits > hashShift {
+			hashShift = lineBits
+		}
+	}
+	for _, nc := range probe.Config().Nodes {
+		span := addr.Log2(nc.Geometry.LineSize) + addr.Log2(nc.Geometry.Sets)
+		if span <= hashShift {
+			maxBits = 0
+			break
+		}
+		if b := span - hashShift; b < maxBits {
+			maxBits = b
+		}
+	}
+	shardBits := uint(addr.Log2(int64(scfg.Shards)))
+	if shardBits > maxBits {
+		shardBits = maxBits
+	}
+	scfg.Shards = 1 << shardBits
+
+	sb := &ShardedBoard{
+		cfg:       cfg,
+		scfg:      scfg,
+		shardBits: shardBits,
+		hashShift: hashShift,
+	}
+	sb.pool.New = func() any {
+		s := make([]bus.Transaction, 0, scfg.BatchSize)
+		return &s
+	}
+	for s := 0; s < scfg.Shards; s++ {
+		shard, err := NewBoard(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sb.shards = append(sb.shards, shard)
+	}
+	sb.events = make([][]DrainEvent, scfg.Shards)
+	return sb, nil
+}
+
+// pow2Floor rounds n down to a power of two (minimum 1).
+func pow2Floor(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// Shards returns the effective shard count after clamping.
+func (sb *ShardedBoard) Shards() int { return len(sb.shards) }
+
+// NumNodes returns the number of configured node controllers.
+func (sb *ShardedBoard) NumNodes() int { return sb.shards[0].NumNodes() }
+
+// ShardOf returns the shard owning address a.
+func (sb *ShardedBoard) ShardOf(a uint64) int {
+	return int((a >> sb.hashShift) & uint64(len(sb.shards)-1))
+}
+
+// Shard exposes shard s's underlying board for tests and diagnostics.
+func (sb *ShardedBoard) Shard(s int) *Board { return sb.shards[s] }
+
+// SetOrderedDrainObserver registers fn to receive every drained
+// directory operation in global issue order (ascending Seq) when the
+// run completes (at Stop for a pipelined run, at Flush for a
+// synchronous one). Sequence numbers are stamped by the Feeder; with
+// more than one feeder the per-feeder streams are each in order but the
+// interleaving follows Seq, so callers that need a total order across
+// producers must issue from a single feeder. Must be set before Start.
+func (sb *ShardedBoard) SetOrderedDrainObserver(fn func(DrainEvent)) {
+	if sb.started {
+		panic("core: SetOrderedDrainObserver after Start")
+	}
+	sb.observer = fn
+	for s, shard := range sb.shards {
+		s := s
+		shard.SetDrainObserver(func(seq, cycle uint64, cmd bus.Command, a uint64, src int) {
+			sb.events[s] = append(sb.events[s], DrainEvent{Seq: seq, Cycle: cycle, Cmd: cmd, Addr: a, Src: src})
+		})
+	}
+}
+
+// Snoop routes one transaction to its shard synchronously (no pipeline
+// goroutines). This is the deterministic golden path: the caller's
+// stream order is preserved per shard exactly as the pipelined mode
+// preserves a single feeder's order. It must not be mixed with
+// Start/NewFeeder.
+func (sb *ShardedBoard) Snoop(tx *bus.Transaction) bus.SnoopResponse {
+	if sb.started {
+		panic("core: synchronous Snoop on a started pipeline")
+	}
+	return sb.shards[sb.ShardOf(tx.Addr)].Snoop(tx)
+}
+
+// Start launches one worker goroutine per shard. After Start, feed
+// transactions through feeders obtained from NewFeeder; every feeder
+// must be Flushed before Stop is called.
+func (sb *ShardedBoard) Start() {
+	if sb.started {
+		panic("core: Start called twice")
+	}
+	sb.started = true
+	sb.chans = make([]chan []bus.Transaction, len(sb.shards))
+	for s := range sb.shards {
+		sb.chans[s] = make(chan []bus.Transaction, sb.scfg.QueueDepth)
+		sb.wg.Add(1)
+		go sb.worker(s)
+	}
+}
+
+// worker drains shard s's channel, applying each transaction to the
+// shard board. It is the only goroutine that ever touches that board.
+func (sb *ShardedBoard) worker(s int) {
+	defer sb.wg.Done()
+	shard := sb.shards[s]
+	for batch := range sb.chans[s] {
+		for i := range batch {
+			shard.Snoop(&batch[i])
+		}
+		batch = batch[:0]
+		sb.pool.Put(&batch)
+	}
+}
+
+// Stop closes the ingress channels, waits for every shard worker to
+// drain, flushes the shard boards (servicing any transactions still in
+// their lock-step buffers), and replays the merged drain log to the
+// ordered observer. After Stop the aggregated Counters/Node views are
+// stable. Feeders must all be Flushed before Stop.
+func (sb *ShardedBoard) Stop() {
+	if !sb.started || sb.stopped {
+		return
+	}
+	sb.stopped = true
+	for _, ch := range sb.chans {
+		close(ch)
+	}
+	sb.wg.Wait()
+	for _, shard := range sb.shards {
+		shard.Flush()
+	}
+	sb.replayMerged()
+}
+
+// Flush completes a synchronous (never started) run: it flushes every
+// shard board and replays the merged drain log. Pipelined runs use Stop
+// instead.
+func (sb *ShardedBoard) Flush() {
+	if sb.started {
+		panic("core: Flush on a started pipeline; use Stop")
+	}
+	for _, shard := range sb.shards {
+		shard.Flush()
+	}
+	sb.replayMerged()
+}
+
+// replayMerged is the merge stage: it restores global issue order from
+// the per-shard drain logs and hands the stream to the observer. Each
+// shard's log is in its feed order; merging on Seq therefore preserves
+// per-CPU (indeed, per-feeder total) ordering.
+func (sb *ShardedBoard) replayMerged() {
+	if sb.observer == nil {
+		return
+	}
+	var total int
+	for _, ev := range sb.events {
+		total += len(ev)
+	}
+	merged := make([]DrainEvent, 0, total)
+	for s := range sb.events {
+		merged = append(merged, sb.events[s]...)
+		sb.events[s] = nil
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Seq < merged[j].Seq })
+	for _, ev := range merged {
+		sb.observer(ev)
+	}
+}
+
+// gaugeCounter reports counters that snapshot a level rather than
+// accumulate events; aggregation takes the maximum across shards
+// instead of the sum.
+func gaugeCounter(name string) bool {
+	return name == "bus.cycles" || name == "buffer.high-water"
+}
+
+// Counters aggregates the shard banks into one 40-bit counter bank, the
+// view the console would extract from a monolithic board: event
+// counters sum (saturating at the 40-bit ceiling exactly as a hardware
+// counter would), level gauges take the maximum. Call it only when the
+// workers are quiescent (after Stop, or any time in synchronous mode).
+func (sb *ShardedBoard) Counters() *stats.Bank {
+	merged := stats.NewBank()
+	for _, shard := range sb.shards {
+		bank := shard.Counters()
+		for _, name := range bank.Names() {
+			v := bank.Value(name)
+			c := merged.Counter(name)
+			if gaugeCounter(name) {
+				if v > c.Value() {
+					c.Reset()
+					c.Add(v)
+				}
+			} else {
+				c.Add(v)
+			}
+		}
+	}
+	return merged
+}
+
+// Node aggregates node i's view across shards.
+func (sb *ShardedBoard) Node(i int) NodeView {
+	v := sb.shards[0].Node(i)
+	for _, shard := range sb.shards[1:] {
+		w := shard.Node(i)
+		v.ReadHit += w.ReadHit
+		v.ReadMiss += w.ReadMiss
+		v.WriteHit += w.WriteHit
+		v.WriteMiss += w.WriteMiss
+		v.SatL3 += w.SatL3
+		v.SatModInt += w.SatModInt
+		v.SatShrInt += w.SatShrInt
+		v.SatMemory += w.SatMemory
+		v.Castouts += w.Castouts
+		v.Evictions += w.Evictions
+	}
+	return v
+}
+
+// ScrubNow runs one ECC scrub pass on every shard's directory slice and
+// returns the totals. Like Counters, it requires quiescent workers.
+func (sb *ShardedBoard) ScrubNow() (corrected, invalidated uint64) {
+	for _, shard := range sb.shards {
+		c, i := shard.ScrubNow()
+		corrected += c
+		invalidated += i
+	}
+	return corrected, invalidated
+}
+
+// Feeder is one producer's ingress port into the pipeline. It batches
+// transactions per shard and stamps them with a feeder-local sequence
+// number. A Feeder is not safe for concurrent use; concurrent producers
+// each create their own.
+type Feeder struct {
+	sb   *ShardedBoard
+	bufs []*[]bus.Transaction
+	seq  uint64
+}
+
+// NewFeeder returns a new ingress port. Safe to call concurrently from
+// multiple producers after Start.
+func (sb *ShardedBoard) NewFeeder() *Feeder {
+	if !sb.started {
+		panic("core: NewFeeder before Start")
+	}
+	return &Feeder{sb: sb, bufs: make([]*[]bus.Transaction, len(sb.shards))}
+}
+
+// Snoop enqueues one transaction for its owning shard, stamping the
+// feeder-local sequence number. The transaction is taken by value: the
+// caller may reuse its struct immediately.
+func (f *Feeder) Snoop(tx bus.Transaction) {
+	tx.Seq = f.seq
+	f.seq++
+	s := f.sb.ShardOf(tx.Addr)
+	buf := f.bufs[s]
+	if buf == nil {
+		buf = f.sb.pool.Get().(*[]bus.Transaction)
+		f.bufs[s] = buf
+	}
+	*buf = append(*buf, tx)
+	if len(*buf) >= f.sb.scfg.BatchSize {
+		f.sb.chans[s] <- *buf
+		f.bufs[s] = nil
+	}
+}
+
+// Flush hands every partial batch to its shard. Producers must call it
+// when their stream ends, before ShardedBoard.Stop.
+func (f *Feeder) Flush() {
+	for s, buf := range f.bufs {
+		if buf != nil && len(*buf) > 0 {
+			f.sb.chans[s] <- *buf
+			f.bufs[s] = nil
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/coherence"
+	"memories/internal/workload"
+)
+
+// shardTestConfig is a four-node, two-group board with mixed geometries:
+// group 0 partitions the eight CPUs into two nodes, group 1 is an
+// independent alternative configuration of the same machine.
+func shardTestConfig() Config {
+	mk := func(name string, cpus []int, size int64, assoc, group int) NodeConfig {
+		return NodeConfig{
+			Name:     name,
+			CPUs:     cpus,
+			Geometry: addr.MustGeometry(size, 128, assoc),
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+			Group:    group,
+		}
+	}
+	return Config{Nodes: []NodeConfig{
+		mk("a", []int{0, 1, 2, 3}, 2*addr.MB, 4, 0),
+		mk("b", []int{4, 5, 6, 7}, 2*addr.MB, 4, 0),
+		mk("c", []int{0, 1, 2, 3}, 8*addr.MB, 8, 1),
+		mk("d", []int{4, 5, 6, 7}, 4*addr.MB, 2, 1),
+	}}
+}
+
+// shardTestStream builds a deterministic transaction stream with the
+// full command mix the address filter must handle: reads, write misses,
+// castouts, and non-memory traffic.
+func shardTestStream(n int) []bus.Transaction {
+	gen := workload.NewZipfian(workload.ZipfConfig{
+		NumCPUs: 8, FootprintByte: 64 * addr.MB, WriteFraction: 0.3, Seed: 21,
+	})
+	txs := make([]bus.Transaction, 0, n)
+	cycle := uint64(0)
+	for i := 0; i < n; i++ {
+		ref, _ := gen.Next()
+		cycle += 48
+		cmd := bus.Read
+		switch {
+		case i%31 == 0:
+			cmd = bus.IORead
+		case i%17 == 0:
+			cmd = bus.Castout
+		case ref.Write:
+			cmd = bus.RWITM
+		}
+		txs = append(txs, bus.Transaction{
+			Seq: uint64(i), Cycle: cycle, Cmd: cmd,
+			Addr: ref.Addr &^ 127, Size: 128, SrcID: ref.CPU,
+		})
+	}
+	return txs
+}
+
+// filterSnapshot drops the counters whose values legitimately depend on
+// pipeline occupancy rather than on the reference stream: the
+// transaction-buffer telemetry (each shard paces its own slice of the
+// SDRAM channel) and, when requested, the bus-cycle gauge (its merged
+// value is only defined for a monotone single-feeder stream).
+func filterSnapshot(snap map[string]uint64, dropCycleGauge bool) map[string]uint64 {
+	out := make(map[string]uint64, len(snap))
+	for name, v := range snap {
+		if strings.HasPrefix(name, "buffer.") {
+			continue
+		}
+		if dropCycleGauge && gaugeCounter(name) {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func diffSnapshots(t *testing.T, want, got map[string]uint64, label string) {
+	t.Helper()
+	for name, w := range want {
+		if g, ok := got[name]; !ok || g != w {
+			t.Errorf("%s: counter %s = %d, want %d", label, name, g, w)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: unexpected counter %s", label, name)
+		}
+	}
+}
+
+// TestShardedBoardMatchesSerial is the tentpole equivalence proof: the
+// same stream through a monolithic Board, a synchronous ShardedBoard,
+// and a pipelined ShardedBoard yields bit-identical counters (modulo
+// buffer-occupancy telemetry) and the identical drain log.
+func TestShardedBoardMatchesSerial(t *testing.T) {
+	const n = 120_000
+	txs := shardTestStream(n)
+
+	serial := MustNewBoard(shardTestConfig())
+	var serialEvents []DrainEvent
+	serial.SetDrainObserver(func(seq, cycle uint64, cmd bus.Command, a uint64, src int) {
+		serialEvents = append(serialEvents, DrainEvent{Seq: seq, Cycle: cycle, Cmd: cmd, Addr: a, Src: src})
+	})
+	for i := range txs {
+		tx := txs[i]
+		serial.Snoop(&tx)
+	}
+	serial.Flush()
+	want := filterSnapshot(serial.Counters().Snapshot(), false)
+
+	t.Run("synchronous", func(t *testing.T) {
+		sb, err := NewShardedBoard(shardTestConfig(), ShardedConfig{Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.Shards() != 4 {
+			t.Fatalf("shard count clamped to %d", sb.Shards())
+		}
+		for i := range txs {
+			tx := txs[i]
+			sb.Snoop(&tx)
+		}
+		sb.Flush()
+		diffSnapshots(t, want, filterSnapshot(sb.Counters().Snapshot(), false), "sync")
+	})
+
+	t.Run("pipelined", func(t *testing.T) {
+		for _, shards := range []int{1, 2, 8} {
+			sb, err := NewShardedBoard(shardTestConfig(), ShardedConfig{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []DrainEvent
+			sb.SetOrderedDrainObserver(func(ev DrainEvent) { events = append(events, ev) })
+			sb.Start()
+			f := sb.NewFeeder()
+			for _, tx := range txs {
+				f.Snoop(tx)
+			}
+			f.Flush()
+			sb.Stop()
+			diffSnapshots(t, want, filterSnapshot(sb.Counters().Snapshot(), false),
+				fmt.Sprintf("pipelined/%d", shards))
+
+			// The merge stage must reconstruct the serial drain log
+			// exactly: same operations, same order, same cycles.
+			if len(events) != len(serialEvents) {
+				t.Fatalf("pipelined/%d: %d merged events, serial drained %d", shards, len(events), len(serialEvents))
+			}
+			for i := range events {
+				if events[i] != serialEvents[i] {
+					t.Fatalf("pipelined/%d: event %d = %+v, serial %+v", shards, i, events[i], serialEvents[i])
+				}
+			}
+			// Per-node views aggregate to the serial views.
+			for i := 0; i < serial.NumNodes(); i++ {
+				if sb.Node(i) != serial.Node(i) {
+					t.Fatalf("pipelined/%d: node %d view %+v, serial %+v", shards, i, sb.Node(i), serial.Node(i))
+				}
+			}
+		}
+	})
+}
+
+// TestShardedBoardClampsShards: a node too small to split eight ways
+// clamps the shard count instead of producing divergent results.
+func TestShardedBoardClampsShards(t *testing.T) {
+	cfg := Config{Nodes: []NodeConfig{{
+		Name: "tiny", CPUs: []int{0},
+		// 4 sets: 2KB / (128B * 4 ways).
+		Geometry: addr.MustGeometry(2*addr.KB, 128, 4),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}}}
+	sb, err := NewShardedBoard(cfg, ShardedConfig{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Shards() != 4 {
+		t.Fatalf("shards = %d, want clamp to the node's 4 sets", sb.Shards())
+	}
+}
+
+// TestShardedBoardRejectsSynchronousFeatures: features that need a
+// synchronous or globally ordered stream view must refuse to shard.
+func TestShardedBoardRejectsSynchronousFeatures(t *testing.T) {
+	base := shardTestConfig()
+	for name, mut := range map[string]func(*Config){
+		"retry":   func(c *Config) { c.RetryOnOverflow = true },
+		"trace":   func(c *Config) { c.TraceCapacity = 1024 },
+		"profile": func(c *Config) { c.ProfileBucketCycles = 1000 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := NewShardedBoard(cfg, ShardedConfig{Shards: 2}); err == nil {
+			t.Errorf("%s: sharded board accepted unsupported feature", name)
+		}
+	}
+}
+
+// stressConfig is the race-stress board: four identical nodes in one
+// snoop group, two CPUs each.
+func stressConfig() Config {
+	var nodes []NodeConfig
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, NodeConfig{
+			Name:     string(rune('a' + i)),
+			CPUs:     []int{2 * i, 2*i + 1},
+			Geometry: addr.MustGeometry(4*addr.MB, 128, 4), // 8192 sets
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+		})
+	}
+	return Config{Nodes: nodes}
+}
+
+// stressTx returns producer p's i-th transaction. Producers own
+// disjoint sets: line-index bits [2,5) carry the producer ID, above the
+// two shard-selector bits, so any interleaving of the eight streams
+// yields the same per-set reference order — which is what makes the
+// concurrent totals comparable against a serial run.
+func stressTx(p int, i int, rng *workload.RNG) bus.Transaction {
+	line := (uint64(rng.Intn(1<<22)) &^ (7 << 2)) | uint64(p)<<2
+	cmd := bus.Read
+	if rng.Chance(0.3) {
+		cmd = bus.RWITM
+	}
+	return bus.Transaction{
+		Cycle: uint64(i+1) * 48,
+		Cmd:   cmd,
+		Addr:  line * 128,
+		Size:  128,
+		SrcID: p,
+	}
+}
+
+// TestShardedBoardConcurrentProducerStress drives all shards of a
+// four-node board from eight concurrent producers (run under -race in
+// CI) and asserts the aggregated counter totals equal a serial Board
+// fed the same eight streams.
+func TestShardedBoardConcurrentProducerStress(t *testing.T) {
+	const producers = 8
+	perProducer := 125_000 // 1M transactions total
+	if testing.Short() {
+		perProducer = 25_000
+	}
+
+	sb, err := NewShardedBoard(stressConfig(), ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Start()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			f := sb.NewFeeder()
+			rng := workload.NewRNG(uint64(100 + p))
+			for i := 0; i < perProducer; i++ {
+				f.Snoop(stressTx(p, i, rng))
+			}
+			f.Flush()
+		}(p)
+	}
+	wg.Wait()
+	sb.Stop()
+
+	// Serial reference: the same eight streams, round-robin interleaved
+	// on a monolithic board.
+	serial := MustNewBoard(stressConfig())
+	rngs := make([]*workload.RNG, producers)
+	for p := range rngs {
+		rngs[p] = workload.NewRNG(uint64(100 + p))
+	}
+	for i := 0; i < perProducer; i++ {
+		for p := 0; p < producers; p++ {
+			tx := stressTx(p, i, rngs[p])
+			serial.Snoop(&tx)
+		}
+	}
+	serial.Flush()
+
+	// The cycle gauge's merged value is undefined across concurrent
+	// producers (arrival order is scheduling-dependent), so it is
+	// excluded along with the buffer telemetry; every event counter
+	// must match exactly.
+	want := filterSnapshot(serial.Counters().Snapshot(), true)
+	got := filterSnapshot(sb.Counters().Snapshot(), true)
+	diffSnapshots(t, want, got, "stress")
+
+	var refs uint64
+	for i := 0; i < 4; i++ {
+		refs += sb.Node(i).Refs()
+	}
+	if refs == 0 {
+		t.Fatal("stress run emulated no references")
+	}
+}

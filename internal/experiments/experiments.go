@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -63,6 +64,12 @@ func ParseScale(s string) (Scale, error) {
 // Preset bundles every scale-dependent parameter.
 type Preset struct {
 	Scale Scale
+
+	// Parallel bounds how many independent sweep points (board runs) an
+	// experiment executes concurrently. Every sweep point builds its own
+	// board, host, and seeded generator, so results are bit-identical at
+	// any setting; 1 is the serial golden run. Set via RunWith.
+	Parallel int
 
 	// Database workloads (Figures 8-10).
 	TPCCFactor int64 // footprint divisor vs the paper's 150GB
@@ -243,15 +250,34 @@ func IDs() []string {
 // Title returns the registered title for an experiment ID.
 func Title(id string) string { return registry[id].title }
 
-// Run regenerates one experiment at the given scale. The returned error
-// is non-nil if the experiment could not run or its result violates the
-// paper's qualitative shape.
+// Options adjusts how an experiment runs without changing what it
+// computes.
+type Options struct {
+	// Parallel bounds the number of sweep points run concurrently inside
+	// the experiment. 0 means GOMAXPROCS; 1 is the serial golden run.
+	Parallel int
+}
+
+// Run regenerates one experiment at the given scale, serially — the
+// deterministic golden path. Equivalent to RunWith with Parallel: 1.
 func Run(id string, scale Scale) (*Result, error) {
+	return RunWith(id, scale, Options{Parallel: 1})
+}
+
+// RunWith regenerates one experiment at the given scale with the given
+// options. The returned error is non-nil if the experiment could not run
+// or its result violates the paper's qualitative shape.
+func RunWith(id string, scale Scale, opts Options) (*Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	res, err := r.run(PresetFor(scale))
+	p := PresetFor(scale)
+	p.Parallel = opts.Parallel
+	if p.Parallel <= 0 {
+		p.Parallel = runtime.GOMAXPROCS(0)
+	}
+	res, err := r.run(p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"memories/internal/core"
 	"memories/internal/faults"
 	"memories/internal/host"
+	"memories/internal/parallel"
 	"memories/internal/stats"
 	"memories/internal/workload"
 )
@@ -73,39 +74,43 @@ func runFaults(p Preset) (*Result, error) {
 	}
 	cleanMiss := clean.view.MissRatio()
 
-	// 1. Bit-flip sweep, scrub on vs off.
+	// 1. Bit-flip sweep, scrub on vs off: 2*len(rates) independent runs
+	// (each builds its own board, injector, and host), executed up to
+	// p.Parallel at a time; rows and shape checks happen afterwards in
+	// sweep order. Even tasks are scrub-on, odd scrub-off, for rate i/2.
 	t1 := stats.NewTable(
 		"FAULTS. Tag-store bit flips: miss-ratio drift vs fault-free run",
 		"flip rate", "scrub", "flips", "miss ratio", "drift", "divergence")
-	for _, rate := range p.FaultsRates {
-		for _, scrub := range []bool{true, false} {
-			bcfg := core.Config{}
-			if scrub {
-				bcfg.ECC = true
-				bcfg.ScrubIntervalCycles = p.FaultsScrubCycles
+	sweep, err := parallel.Map(p.Parallel, 2*len(p.FaultsRates), func(i int) (runOut, error) {
+		bcfg := core.Config{}
+		if i%2 == 0 {
+			bcfg.ECC = true
+			bcfg.ScrubIntervalCycles = p.FaultsScrubCycles
+		}
+		return faultRun(bcfg, faults.Config{Seed: 7, BitFlipProb: p.FaultsRates[i/2]})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range sweep {
+		rate, scrub := p.FaultsRates[i/2], i%2 == 0
+		miss := out.view.MissRatio()
+		drift := miss - cleanMiss
+		if drift < 0 {
+			drift = -drift
+		}
+		label := "off"
+		if scrub {
+			label = "on"
+		}
+		flips := out.inj.Board().Counters().Counter("faults.bitflips").Value()
+		t1.AddRow(fmt.Sprintf("%.0e", rate), label, flips, miss, drift, out.div.Delta)
+		if scrub {
+			if drift >= 0.001 {
+				return nil, fmt.Errorf("faults: scrub-on drift %.5f at rate %.0e exceeds 0.1%%", drift, rate)
 			}
-			out, err := faultRun(bcfg, faults.Config{Seed: 7, BitFlipProb: rate})
-			if err != nil {
-				return nil, err
-			}
-			miss := out.view.MissRatio()
-			drift := miss - cleanMiss
-			if drift < 0 {
-				drift = -drift
-			}
-			label := "off"
-			if scrub {
-				label = "on"
-			}
-			flips := out.inj.Board().Counters().Counter("faults.bitflips").Value()
-			t1.AddRow(fmt.Sprintf("%.0e", rate), label, flips, miss, drift, out.div.Delta)
-			if scrub {
-				if drift >= 0.001 {
-					return nil, fmt.Errorf("faults: scrub-on drift %.5f at rate %.0e exceeds 0.1%%", drift, rate)
-				}
-			} else if rate >= p.FaultsRates[len(p.FaultsRates)-1] && out.div.Delta == 0 {
-				return nil, fmt.Errorf("faults: scrub-off run at rate %.0e not detected by divergence counter", rate)
-			}
+		} else if rate >= p.FaultsRates[len(p.FaultsRates)-1] && out.div.Delta == 0 {
+			return nil, fmt.Errorf("faults: scrub-off run at rate %.0e not detected by divergence counter", rate)
 		}
 	}
 	res.Tables = append(res.Tables, t1)

@@ -5,6 +5,7 @@ import (
 
 	"memories/internal/addr"
 	"memories/internal/host"
+	"memories/internal/parallel"
 	"memories/internal/stats"
 	"memories/internal/workload"
 	"memories/internal/workload/splash"
@@ -32,18 +33,31 @@ func runFig11(p Preset) (*Result, error) {
 		append([]string{"Application"}, sizeLabels(sizes)...)...)
 
 	res := &Result{}
-	for _, name := range splash.Names() {
+	names := splash.Names()
+	// One independent sweep per application, run concurrently; rows are
+	// added afterwards in the registry's order.
+	perApp, err := parallel.Map(p.Parallel, len(names), func(ai int) ([]float64, error) {
+		name := names[ai]
 		newGen := func() workload.Generator { return splash.New(name, p.Fig11Size, hcfg.NumCPUs, p.SplashSeed) }
-		views, err := cacheSweep(hcfg, newGen, sizes, 128, 4, p.Fig11Refs)
+		views, err := cacheSweep(hcfg, newGen, sizes, 128, 4, p.Fig11Refs, p.Parallel)
 		if err != nil {
 			return nil, err
 		}
 		miss := make([]float64, len(views))
-		cells := make([]interface{}, 0, len(views)+1)
-		cells = append(cells, name)
 		for i, v := range views {
 			miss[i] = v.MissRatio()
-			cells = append(cells, miss[i])
+		}
+		return miss, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, name := range names {
+		miss := perApp[ai]
+		cells := make([]interface{}, 0, len(miss)+1)
+		cells = append(cells, name)
+		for _, m := range miss {
+			cells = append(cells, m)
 		}
 		t.AddRow(cells...)
 

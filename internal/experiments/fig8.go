@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memories/internal/addr"
+	"memories/internal/parallel"
 	"memories/internal/stats"
 	"memories/internal/workload"
 )
@@ -26,45 +27,47 @@ func runFig8(p Preset) (*Result, error) {
 		refs     uint64
 		miss     []float64
 	}
-	var all []series
-	res := &Result{}
-
-	for _, wl := range []struct {
-		name   string
-		newGen func() workload.Generator
-	}{
-		{"tpcc", func() workload.Generator { return workload.NewTPCC(workload.ScaledTPCCConfig(p.TPCCFactor)) }},
-		{"tpch", func() workload.Generator { return workload.NewTPCH(workload.ScaledTPCHConfig(p.TPCHFactor)) }},
-	} {
-		for _, tr := range []struct {
-			label string
-			refs  uint64
-		}{
-			{"long", p.Fig8Long},
-			{"short", p.Fig8Short},
-		} {
-			views, err := cacheSweep(hcfg, wl.newGen, sizes, 128, 8, tr.refs)
-			if err != nil {
-				return nil, err
-			}
-			s := series{workload: wl.name, label: tr.label, refs: tr.refs}
-			for _, v := range views {
-				s.miss = append(s.miss, v.MissRatio())
-			}
-			all = append(all, s)
+	// The four workload x trace-length series are independent sweeps; the
+	// rig runs them (and their internal batches) concurrently up to
+	// p.Parallel, with results landing in fixed index order.
+	combos := []series{
+		{workload: "tpcc", label: "long", refs: p.Fig8Long},
+		{workload: "tpcc", label: "short", refs: p.Fig8Short},
+		{workload: "tpch", label: "long", refs: p.Fig8Long},
+		{workload: "tpch", label: "short", refs: p.Fig8Short},
+	}
+	all, err := parallel.Map(p.Parallel, len(combos), func(i int) (series, error) {
+		s := combos[i]
+		newGen := func() workload.Generator { return workload.NewTPCC(workload.ScaledTPCCConfig(p.TPCCFactor)) }
+		if s.workload == "tpch" {
+			newGen = func() workload.Generator { return workload.NewTPCH(workload.ScaledTPCHConfig(p.TPCHFactor)) }
 		}
+		views, err := cacheSweep(hcfg, newGen, sizes, 128, 8, s.refs, p.Parallel)
+		if err != nil {
+			return series{}, err
+		}
+		for _, v := range views {
+			s.miss = append(s.miss, v.MissRatio())
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	res := &Result{}
+	for w := 0; w < 2; w++ {
+		long, short := all[2*w], all[2*w+1]
 		t := stats.NewTable(
-			fmt.Sprintf("FIGURE 8 (%s). L3 Miss Ratio for Different Trace Lengths", wl.name),
+			fmt.Sprintf("FIGURE 8 (%s). L3 Miss Ratio for Different Trace Lengths", long.workload),
 			"L3 size", "long trace", "short trace")
-		long, short := all[len(all)-2], all[len(all)-1]
 		for i, size := range sizes {
 			t.AddRow(addr.FormatSize(size), long.miss[i], short.miss[i])
 		}
 		res.Tables = append(res.Tables, t)
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"%s: long trace %d refs, short trace %d refs (host workload references)",
-			wl.name, long.refs, short.refs))
+			long.workload, long.refs, short.refs))
 	}
 
 	// Shape checks per workload.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memories/internal/addr"
+	"memories/internal/parallel"
 	"memories/internal/stats"
 	"memories/internal/workload"
 )
@@ -23,16 +24,22 @@ func runFig9(p Preset) (*Result, error) {
 	procCounts := []int{1, 2, 4, 8}
 	cacheBytes := p.Fig9CacheMB * addr.MB
 
+	// 2*len(procCounts) independent sweeps: even tasks are the long
+	// trace, odd tasks the short one, for procCounts[i/2] per node.
+	flat, err := parallel.Map(p.Parallel, 2*len(procCounts), func(i int) (float64, error) {
+		refs := p.Fig9Long
+		if i%2 == 1 {
+			refs = p.Fig9Short
+		}
+		return procSweep(hcfg, newGen, cacheBytes, 128, 8, refs, procCounts[i/2], p.Parallel)
+	})
+	if err != nil {
+		return nil, err
+	}
 	long := make([]float64, len(procCounts))
 	short := make([]float64, len(procCounts))
-	for i, procs := range procCounts {
-		var err error
-		if long[i], err = procSweep(hcfg, newGen, cacheBytes, 128, 8, p.Fig9Long, procs); err != nil {
-			return nil, err
-		}
-		if short[i], err = procSweep(hcfg, newGen, cacheBytes, 128, 8, p.Fig9Short, procs); err != nil {
-			return nil, err
-		}
+	for i := range procCounts {
+		long[i], short[i] = flat[2*i], flat[2*i+1]
 	}
 
 	t := stats.NewTable(

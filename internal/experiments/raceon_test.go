@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled lets the expensive equivalence tests shrink under
+// `go test -race`: the race detector multiplies the experiment shape
+// checks' runtime past the per-package test timeout, and the
+// equivalence tests assert determinism, not synchronization. A reduced
+// parallel sweep still runs under race for interleaving coverage.
+const raceDetectorEnabled = true

@@ -8,6 +8,7 @@ import (
 	"memories/internal/coherence"
 	"memories/internal/core"
 	"memories/internal/host"
+	"memories/internal/parallel"
 	"memories/internal/workload"
 )
 
@@ -63,14 +64,14 @@ func boardRun(hcfg host.Config, newGen func() workload.Generator, bcfg core.Conf
 // one per node controller, each in its own snoop group (the board's
 // multiple-configuration mode, §2.2) — so every batch needs only one
 // host run, and the deterministic generators guarantee every batch sees
-// an identical stream.
-func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int64, lineBytes int64, assoc int, refs uint64) ([]core.NodeView, error) {
-	views := make([]core.NodeView, 0, len(sizes))
-	for start := 0; start < len(sizes); start += core.MaxNodes {
-		end := start + core.MaxNodes
-		if end > len(sizes) {
-			end = len(sizes)
-		}
+// an identical stream. Batches are fully independent (fresh board, host,
+// and seeded generator each), so up to par of them run concurrently;
+// results are bit-identical at every par.
+func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int64, lineBytes int64, assoc int, refs uint64, par int) ([]core.NodeView, error) {
+	nBatches := (len(sizes) + core.MaxNodes - 1) / core.MaxNodes
+	batches, err := parallel.Map(par, nBatches, func(bi int) ([]core.NodeView, error) {
+		start := bi * core.MaxNodes
+		end := min(start+core.MaxNodes, len(sizes))
 		var nodes []core.NodeConfig
 		for i, size := range sizes[start:end] {
 			nodes = append(nodes, mesiNode(fmt.Sprintf("s%d", start+i), allCPUs(hcfg.NumCPUs), size, lineBytes, assoc, i))
@@ -79,9 +80,18 @@ func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int6
 		if err != nil {
 			return nil, err
 		}
+		out := make([]core.NodeView, len(nodes))
 		for i := range nodes {
-			views = append(views, b.Node(i))
+			out[i] = b.Node(i)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	views := make([]core.NodeView, 0, len(sizes))
+	for _, b := range batches {
+		views = append(views, b...)
 	}
 	return views, nil
 }
@@ -90,13 +100,14 @@ func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int6
 // split into nodes of `procs` processors, each with its own cache of
 // cacheBytes. More than four nodes take multiple board runs (the paper's
 // board has four controllers); results aggregate across runs.
-func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, lineBytes int64, assoc int, refs uint64, procs int) (float64, error) {
+func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, lineBytes int64, assoc int, refs uint64, procs, par int) (float64, error) {
 	if hcfg.NumCPUs%procs != 0 {
 		return 0, fmt.Errorf("experiments: %d CPUs not divisible by %d per node", hcfg.NumCPUs, procs)
 	}
 	nodesNeeded := hcfg.NumCPUs / procs
-	var missSum, refSum uint64
-	for batch := 0; batch*core.MaxNodes < nodesNeeded; batch++ {
+	nBatches := (nodesNeeded + core.MaxNodes - 1) / core.MaxNodes
+	type tally struct{ miss, refs uint64 }
+	tallies, err := parallel.Map(par, nBatches, func(batch int) (tally, error) {
 		var nodes []core.NodeConfig
 		for n := batch * core.MaxNodes; n < nodesNeeded && n < (batch+1)*core.MaxNodes; n++ {
 			cpus := make([]int, procs)
@@ -107,13 +118,23 @@ func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, l
 		}
 		b, _, err := boardRun(hcfg, newGen, core.Config{Nodes: nodes}, refs)
 		if err != nil {
-			return 0, err
+			return tally{}, err
 		}
+		var t tally
 		for i := range nodes {
 			v := b.Node(i)
-			missSum += v.Misses()
-			refSum += v.Refs()
+			t.miss += v.Misses()
+			t.refs += v.Refs()
 		}
+		return t, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var missSum, refSum uint64
+	for _, t := range tallies {
+		missSum += t.miss
+		refSum += t.refs
 	}
 	if refSum == 0 {
 		return 0, fmt.Errorf("experiments: proc sweep saw no references")

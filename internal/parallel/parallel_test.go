@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	for _, c := range []struct{ par, n, min, max int }{
+		{0, 10, 1, 10},  // 0 means GOMAXPROCS, clamped to n
+		{-3, 10, 1, 10}, // negative likewise
+		{4, 2, 2, 2},    // never more workers than tasks
+		{1, 100, 1, 1},
+		{8, 8, 8, 8},
+	} {
+		got := Normalize(c.par, c.n)
+		if got < c.min || got > c.max {
+			t.Errorf("Normalize(%d, %d) = %d, want in [%d, %d]", c.par, c.n, got, c.min, c.max)
+		}
+	}
+}
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 64} {
+		const n = 200
+		var counts [n]atomic.Int64
+		if err := ForEach(par, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("par %d: task %d ran %d times", par, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachErrorSelection: the lowest-index error wins regardless of
+// completion order, and later tasks still run — the property that keeps
+// parallel failure output identical to serial failure output.
+func TestForEachErrorSelection(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var ran atomic.Int64
+		errA := errors.New("a")
+		err := ForEach(par, 10, func(i int) error {
+			ran.Add(1)
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errors.New("b")
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("par %d: err = %v, want lowest-index error %v", par, err, errA)
+		}
+		if ran.Load() != 10 {
+			t.Fatalf("par %d: only %d tasks ran after error", par, ran.Load())
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapDeterministic: results land in index order and are identical
+// at every parallelism level.
+func TestMapDeterministic(t *testing.T) {
+	want, err := Map(1, 50, func(i int) (string, error) {
+		return fmt.Sprintf("v%d", i*i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		got, err := Map(par, 50, func(i int) (string, error) {
+			return fmt.Sprintf("v%d", i*i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("par %d: result[%d] = %q, want %q", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(4, 8, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Non-failing slots are still populated.
+	if out[7] != 7 {
+		t.Fatalf("out[7] = %d", out[7])
+	}
+}

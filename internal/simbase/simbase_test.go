@@ -61,9 +61,13 @@ func TestTraceSimRunFromFile(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := tracefile.NewWriter(&buf)
 	for i := 0; i < 100; i++ {
-		w.Write(tracefile.Record{Addr: uint64(i%8) * 128, Cmd: bus.Read, SrcID: uint8(i % 2)})
+		if err := w.Write(tracefile.Record{Addr: uint64(i%8) * 128, Cmd: bus.Read, SrcID: uint8(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	r, err := tracefile.NewReader(&buf)
 	if err != nil {
 		t.Fatal(err)

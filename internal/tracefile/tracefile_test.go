@@ -127,8 +127,12 @@ func TestReaderRejectsBadMagic(t *testing.T) {
 func TestReaderTornRecord(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
-	w.Write(Record{Addr: 8})
-	w.Flush()
+	if err := w.Write(Record{Addr: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	data := buf.Bytes()[:buf.Len()-3] // tear the record
 	r, err := NewReader(bytes.NewReader(data))
 	if err != nil {
