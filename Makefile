@@ -27,12 +27,13 @@ race:
 # to actually explore.
 .PHONY: fuzz-seeds
 fuzz-seeds:
-	$(GO) test ./internal/coherence/ -run 'Fuzz.*'
+	$(GO) test ./internal/coherence/ ./internal/tracefile/ -run 'Fuzz.*'
 
 FUZZTIME ?= 2m
 .PHONY: fuzz-long
 fuzz-long:
 	$(GO) test ./internal/coherence/ -run FuzzParseMapFile -fuzz FuzzParseMapFile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tracefile/ -run FuzzRoundTripV2 -fuzz FuzzRoundTripV2 -fuzztime $(FUZZTIME)
 
 # The fault-injection acceptance sweep at CI scale (~seconds), run
 # serially (-parallel 1) so the output is the deterministic golden run.
@@ -65,6 +66,15 @@ bench-baseline:
 .PHONY: bench-check
 bench-check:
 	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8' -threshold 0.10
+
+# The trace-pipeline throughput gate: the v2 parallel reader must beat
+# the v1 per-record reader's ns/rec by 2x. Needs real cores — on a
+# single-CPU box the pipeline cannot scale and the gate will fail.
+.PHONY: bench-trace
+bench-trace:
+	$(GO) test -run '^$$' -bench 'TraceRead' -benchtime 20000x -count $(BENCHCOUNT) -cpu 1,2,4 . | tee bench-trace.txt
+	$(GO) run ./cmd/benchdiff -current bench-trace.txt \
+		-ratio-base BenchmarkTraceReadV1 -ratio-new BenchmarkTraceReadV2Pipeline -min-ratio 2.0
 
 .PHONY: lint
 lint:

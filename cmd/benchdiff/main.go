@@ -7,6 +7,9 @@
 //   - optionally checks that the -speedup benchmark's highest -cpu
 //     variant is at least -min-speedup times faster than its lowest, and
 //     that -parity metrics are bit-identical across -cpu variants;
+//   - optionally gates one benchmark against a different one via a
+//     shared metric (-ratio-base / -ratio-new / -min-ratio), e.g. the
+//     v2 trace pipeline must beat the v1 reader's ns/rec by 2x;
 //   - optionally writes a JSON artifact of summaries and deltas.
 //
 // Typical CI usage:
@@ -16,6 +19,8 @@
 //	    -filter 'Table3|Fig8' -threshold 0.10 -json BENCH_2026-01-02.json
 //	benchdiff -current bench.txt -speedup BenchmarkBoardSnoopParallel \
 //	    -min-speedup 2.5 -parity missratio
+//	benchdiff -current bench-trace.txt -ratio-base BenchmarkTraceReadV1 \
+//	    -ratio-new BenchmarkTraceReadV2Pipeline -min-ratio 2.0
 package main
 
 import (
@@ -33,6 +38,7 @@ type artifact struct {
 	Baseline  []benchfmt.Summary `json:"baseline,omitempty"`
 	Deltas    []benchfmt.Delta   `json:"deltas,omitempty"`
 	Speedup   float64            `json:"speedup,omitempty"`
+	Ratio     float64            `json:"ratio,omitempty"`
 	Threshold float64            `json:"threshold"`
 	Filter    string             `json:"filter"`
 }
@@ -47,6 +53,10 @@ func main() {
 		speedup      = flag.String("speedup", "", "benchmark whose -cpu scaling to check")
 		minSpeedup   = flag.Float64("min-speedup", 2.5, "minimum highest-vs-lowest -cpu speedup")
 		parity       = flag.String("parity", "", "metric that must be identical across -cpu variants of -speedup")
+		ratioBase    = flag.String("ratio-base", "", "reference benchmark for the cross-benchmark ratio gate")
+		ratioNew     = flag.String("ratio-new", "", "benchmark that must beat -ratio-base by -min-ratio")
+		ratioMetric  = flag.String("ratio-metric", "ns/rec", "shared metric the ratio gate compares")
+		minRatio     = flag.Float64("min-ratio", 2.0, "minimum -ratio-base/-ratio-new metric ratio")
 	)
 	flag.Parse()
 	if *currentPath == "" {
@@ -96,6 +106,23 @@ func main() {
 			} else {
 				fmt.Printf("%s: %s identical across -cpu variants\n", *speedup, *parity)
 			}
+		}
+	}
+
+	if *ratioBase != "" || *ratioNew != "" {
+		if *ratioBase == "" || *ratioNew == "" {
+			fatal(fmt.Errorf("-ratio-base and -ratio-new must be set together"))
+		}
+		ratio, baseProcs, newProcs, err := benchfmt.Ratio(current, *ratioBase, *ratioNew, *ratioMetric)
+		if err != nil {
+			fatal(err)
+		}
+		art.Ratio = ratio
+		fmt.Printf("%s-%d vs %s-%d: %.2fx by %s, floor %.2fx\n",
+			*ratioNew, newProcs, *ratioBase, baseProcs, ratio, *ratioMetric, *minRatio)
+		if ratio < *minRatio {
+			fmt.Printf("FAIL: ratio below floor\n")
+			failed = true
 		}
 	}
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"memories/internal/experiments"
+	"memories/internal/prof"
 )
 
 type outcome struct {
@@ -37,6 +38,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker bound, both across experiments and across sweep points within one; 1 is the serial golden run (bit-identical results at any setting)")
 	)
+	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -61,6 +63,12 @@ func main() {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	// Run experiments concurrently (each independent, internally
 	// parallel up to the same bound), bounded by a semaphore; report in
@@ -100,6 +108,7 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", o.res.ID, o.elapsed.Round(time.Millisecond))
 	}
 	if failures > 0 {
+		stopProf() // fatal exits without running deferred calls
 		fatal(fmt.Errorf("%d experiment(s) failed", failures))
 	}
 }

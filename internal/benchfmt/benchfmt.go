@@ -196,6 +196,48 @@ func Speedup(summaries []Summary, name string) (ratio float64, loProcs, hiProcs 
 	return lo.NsPerOp / hi.NsPerOp, lo.Procs, hi.Procs, nil
 }
 
+// Ratio compares two different benchmarks by a shared metric: the
+// lowest-procs variant of baseName (the serial reference) against the
+// best (lowest-valued) variant of newName at any procs. It returns
+// baseValue/newValue — 2.0 means the new benchmark is twice as fast —
+// plus the procs of each side. This is the cross-benchmark counterpart
+// of Speedup, used to gate the v2 trace pipeline against the v1 reader.
+func Ratio(summaries []Summary, baseName, newName, metric string) (ratio float64, baseProcs, newProcs int, err error) {
+	var base, best *Summary
+	for i := range summaries {
+		s := &summaries[i]
+		switch s.Name {
+		case baseName:
+			if base == nil || s.Procs < base.Procs {
+				base = s
+			}
+		case newName:
+			v, ok := s.Metrics[metric]
+			if !ok {
+				return 0, 0, 0, fmt.Errorf("benchfmt: %s-%d does not report %s", newName, s.Procs, metric)
+			}
+			if best == nil || v < best.Metrics[metric] {
+				best = s
+			}
+		}
+	}
+	if base == nil {
+		return 0, 0, 0, fmt.Errorf("benchfmt: no variants of %s found", baseName)
+	}
+	if best == nil {
+		return 0, 0, 0, fmt.Errorf("benchfmt: no variants of %s found", newName)
+	}
+	bv, ok := base.Metrics[metric]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("benchfmt: %s-%d does not report %s", baseName, base.Procs, metric)
+	}
+	nv := best.Metrics[metric]
+	if nv == 0 {
+		return 0, 0, 0, fmt.Errorf("benchfmt: %s-%d reports 0 %s", newName, best.Procs, metric)
+	}
+	return bv / nv, base.Procs, best.Procs, nil
+}
+
 // ParityError returns a non-nil error if the named metric differs across
 // the -cpu variants of a benchmark — the determinism check for the
 // sharded pipeline's missratio.

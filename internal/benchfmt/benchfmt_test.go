@@ -133,6 +133,34 @@ func TestSpeedupAndParity(t *testing.T) {
 	}
 }
 
+func TestRatio(t *testing.T) {
+	rs, err := Parse(strings.NewReader(`
+BenchmarkTraceReadV1 	 20000	 11.5 ns/op	 11.5 ns/rec
+BenchmarkTraceReadV2Pipeline 	 20000	 33.0 ns/op	 10.0 ns/rec	 1.000 workers
+BenchmarkTraceReadV2Pipeline-4 	 20000	 12.0 ns/op	 4.6 ns/rec	 4.000 workers
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := Summarize(rs)
+	ratio, baseProcs, newProcs, err := Ratio(ss, "BenchmarkTraceReadV1", "BenchmarkTraceReadV2Pipeline", "ns/rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseProcs != 1 || newProcs != 4 {
+		t.Fatalf("procs = %d vs %d, want 1 vs 4", baseProcs, newProcs)
+	}
+	if ratio != 11.5/4.6 {
+		t.Fatalf("ratio = %v, want %v", ratio, 11.5/4.6)
+	}
+	if _, _, _, err := Ratio(ss, "BenchmarkMissing", "BenchmarkTraceReadV2Pipeline", "ns/rec"); err == nil {
+		t.Fatal("missing base accepted")
+	}
+	if _, _, _, err := Ratio(ss, "BenchmarkTraceReadV1", "BenchmarkTraceReadV2Pipeline", "nope"); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+}
+
 func TestParseRejectsBadValue(t *testing.T) {
 	_, err := Parse(strings.NewReader("BenchmarkX \t 100 \t nan7 ns/op\n"))
 	if err == nil {

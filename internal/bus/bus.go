@@ -213,7 +213,16 @@ type Bus struct {
 	cycle    uint64
 	seq      uint64
 	snoopers []Snooper
-	stats    Stats
+	// observers caches the snoopers that implement ResponseObserver
+	// (with their bus IDs) so Issue's combined-response phase is a plain
+	// slice walk instead of a per-transaction interface type assertion.
+	observers []observerEntry
+	stats     Stats
+}
+
+type observerEntry struct {
+	ro ResponseObserver
+	id int
 }
 
 // New creates a bus with the given configuration.
@@ -226,8 +235,15 @@ func New(cfg Config) *Bus {
 
 // Attach registers a snooper. Attach order determines snoop order, which
 // is observable only through identical-priority response ties and thus
-// does not affect results.
-func (b *Bus) Attach(s Snooper) { b.snoopers = append(b.snoopers, s) }
+// does not affect results. The device's BusID is sampled here and must
+// be stable for its lifetime (true of every device in this codebase:
+// CPUs are numbered at construction, passive observers are fixed at -1).
+func (b *Bus) Attach(s Snooper) {
+	b.snoopers = append(b.snoopers, s)
+	if ro, ok := s.(ResponseObserver); ok {
+		b.observers = append(b.observers, observerEntry{ro: ro, id: s.BusID()})
+	}
+}
 
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
@@ -284,13 +300,11 @@ func (b *Bus) Issue(tx *Transaction) SnoopResponse {
 	}
 	// Combined-response phase: every participating device sees the
 	// outcome.
-	for _, s := range b.snoopers {
-		if id := s.BusID(); id >= 0 && id == tx.SrcID {
+	for _, o := range b.observers {
+		if o.id >= 0 && o.id == tx.SrcID {
 			continue
 		}
-		if ro, ok := s.(ResponseObserver); ok {
-			ro.ObserveResponse(tx, resp)
-		}
+		o.ro.ObserveResponse(tx, resp)
 	}
 
 	b.stats.Transactions++

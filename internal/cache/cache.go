@@ -113,15 +113,63 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // slot returns the flat index for (set, way).
 func (c *Cache) slot(set int64, way int) int64 { return set*int64(c.geom.Assoc) + int64(way) }
 
+// findWay returns the way within the set at base holding a valid line
+// with the given tag, or -1. Every lookup funnels through here; the
+// hardware-realistic associativities (1/2/4/8 ways, Table 2) take
+// unrolled fast paths over array views so the per-way bounds checks and
+// induction-variable overhead of the generic scan disappear from the
+// snoop hot loop.
+func (c *Cache) findWay(base int64, tag uint64) int {
+	switch c.geom.Assoc {
+	case 1:
+		if c.state[base] != StateInvalid && c.tags[base] == tag {
+			return 0
+		}
+	case 2:
+		t := (*[2]uint64)(c.tags[base:])
+		s := (*[2]uint8)(c.state[base:])
+		if s[0] != StateInvalid && t[0] == tag {
+			return 0
+		}
+		if s[1] != StateInvalid && t[1] == tag {
+			return 1
+		}
+	case 4:
+		t := (*[4]uint64)(c.tags[base:])
+		s := (*[4]uint8)(c.state[base:])
+		for w := 0; w < 4; w++ {
+			if s[w] != StateInvalid && t[w] == tag {
+				return w
+			}
+		}
+	case 8:
+		t := (*[8]uint64)(c.tags[base:])
+		s := (*[8]uint8)(c.state[base:])
+		for w := 0; w < 8; w++ {
+			if s[w] != StateInvalid && t[w] == tag {
+				return w
+			}
+		}
+	default:
+		end := base + int64(c.geom.Assoc)
+		t := c.tags[base:end]
+		s := c.state[base:end]
+		for w := range t {
+			if s[w] != StateInvalid && t[w] == tag {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
 // Probe looks a line up without modifying replacement state. It returns
 // the line's state (StateInvalid on miss).
 func (c *Cache) Probe(a uint64) uint8 {
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
-	for w := 0; w < c.geom.Assoc; w++ {
-		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
-			return c.state[base+int64(w)]
-		}
+	if w := c.findWay(base, tag); w >= 0 {
+		return c.state[base+int64(w)]
 	}
 	return StateInvalid
 }
@@ -133,12 +181,10 @@ func (c *Cache) Access(a uint64) uint8 {
 	c.stats.Probes++
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
-	for w := 0; w < c.geom.Assoc; w++ {
-		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
-			c.stats.Hits++
-			c.repl.touch(set, w)
-			return c.state[base+int64(w)]
-		}
+	if w := c.findWay(base, tag); w >= 0 {
+		c.stats.Hits++
+		c.repl.touch(set, w)
+		return c.state[base+int64(w)]
 	}
 	return StateInvalid
 }
@@ -152,12 +198,10 @@ func (c *Cache) SetState(a uint64, s uint8) bool {
 	}
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
-	for w := 0; w < c.geom.Assoc; w++ {
-		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
-			c.state[base+int64(w)] = s
-			c.updateECC(base + int64(w))
-			return true
-		}
+	if w := c.findWay(base, tag); w >= 0 {
+		c.state[base+int64(w)] = s
+		c.updateECC(base + int64(w))
+		return true
 	}
 	return false
 }
@@ -171,17 +215,17 @@ func (c *Cache) Fill(a uint64, s uint8) (victim Victim, evicted bool) {
 	}
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
+	if w := c.findWay(base, tag); w >= 0 {
+		c.state[base+int64(w)] = s
+		c.updateECC(base + int64(w))
+		c.repl.touch(set, w)
+		return Victim{}, false
+	}
 	free := -1
 	for w := 0; w < c.geom.Assoc; w++ {
-		st := c.state[base+int64(w)]
-		if st != StateInvalid && c.tags[base+int64(w)] == tag {
-			c.state[base+int64(w)] = s
-			c.updateECC(base + int64(w))
-			c.repl.touch(set, w)
-			return Victim{}, false
-		}
-		if st == StateInvalid && free < 0 {
+		if c.state[base+int64(w)] == StateInvalid {
 			free = w
+			break
 		}
 	}
 	way := free
@@ -207,14 +251,12 @@ func (c *Cache) Fill(a uint64, s uint8) (victim Victim, evicted bool) {
 func (c *Cache) Invalidate(a uint64) (prior uint8, found bool) {
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
-	for w := 0; w < c.geom.Assoc; w++ {
-		if c.state[base+int64(w)] != StateInvalid && c.tags[base+int64(w)] == tag {
-			prior = c.state[base+int64(w)]
-			c.state[base+int64(w)] = StateInvalid
-			c.updateECC(base + int64(w))
-			c.stats.Invalidates++
-			return prior, true
-		}
+	if w := c.findWay(base, tag); w >= 0 {
+		prior = c.state[base+int64(w)]
+		c.state[base+int64(w)] = StateInvalid
+		c.updateECC(base + int64(w))
+		c.stats.Invalidates++
+		return prior, true
 	}
 	return StateInvalid, false
 }

@@ -97,13 +97,21 @@ type Config struct {
 	ScrubIntervalCycles uint64
 }
 
+// MaxBusID is the largest assignable bus ID. The trace format carries
+// source IDs in a single byte, and the hardware filter FPGA matches on
+// an 8-bit bus tag, so the bound is inherent to the design; it is also
+// what lets every per-CPU lookup on the hot path be a dense slice index
+// instead of a map probe.
+const MaxBusID = 255
+
 // Board is the MemorIES emulator.
 type Board struct {
 	cfg      Config
 	bank     *stats.Bank
 	nodes    []*node
-	cpuOwner map[int][]*node // bus ID -> owning node per group
+	cpuOwner [][]*node // bus ID -> owning node per group (dense, nil holes)
 	queue    []pending
+	qhead    int // queue[:qhead] already drained; see enqueue/drain
 	capture  *tracefile.Capture
 
 	// cached global counters (hot path)
@@ -114,11 +122,15 @@ type Board struct {
 	cRejectedRetried                                    *stats.Counter
 	cScrubPasses                                        *stats.Counter
 	cByCmd                                              []*stats.Counter
-	cPerCPU                                             map[int]*stats.Counter
+	cPerCPU                                             []*stats.Counter // bus ID indexed, nil holes
 	lastCycle                                           uint64
 	justEnqueued                                        bool
 	nextScrub                                           uint64
 	onDrain                                             func(seq, cycle uint64, cmd bus.Command, addr uint64, src int)
+
+	// batchByCmd is SnoopBatch's per-command accumulator, kept on the
+	// board so the batch path allocates nothing.
+	batchByCmd []uint64
 }
 
 // pending is a buffered transaction awaiting directory service.
@@ -148,8 +160,8 @@ func NewBoard(cfg Config) (*Board, error) {
 	b := &Board{
 		cfg:      cfg,
 		bank:     stats.NewBank(),
-		cpuOwner: make(map[int][]*node),
-		cPerCPU:  make(map[int]*stats.Counter),
+		cpuOwner: make([][]*node, MaxBusID+1),
+		cPerCPU:  make([]*stats.Counter, MaxBusID+1),
 	}
 	names := map[string]bool{}
 	for i := range cfg.Nodes {
@@ -168,7 +180,7 @@ func NewBoard(cfg Config) (*Board, error) {
 		b.nodes = append(b.nodes, n)
 	}
 	// Validate CPU assignment: within one group, a CPU may belong to at
-	// most one node.
+	// most one node. (newNode has already bounds-checked every ID.)
 	for _, n := range b.nodes {
 		for _, id := range n.cfg.CPUs {
 			for _, owner := range b.cpuOwner[id] {
@@ -213,9 +225,21 @@ func (b *Board) initGlobalCounters() {
 	b.cTraceCaptured = b.bank.Counter("trace.captured")
 	b.cTraceDropped = b.bank.Counter("trace.dropped")
 	// Per-CPU global operation counters for every assigned bus ID.
-	for id := range b.cpuOwner {
-		b.cPerCPU[id] = b.bank.Counter(fmt.Sprintf("bus.cpu%02d.ops", id))
+	for id, owners := range b.cpuOwner {
+		if len(owners) > 0 {
+			b.cPerCPU[id] = b.bank.Counter(fmt.Sprintf("bus.cpu%02d.ops", id))
+		}
 	}
+	b.batchByCmd = make([]uint64, len(b.cByCmd))
+}
+
+// owners returns the nodes owning bus ID id (nil for unassigned or
+// out-of-range IDs, including the negative IDs of passive observers).
+func (b *Board) owners(id int) []*node {
+	if uint(id) >= uint(len(b.cpuOwner)) {
+		return nil
+	}
+	return b.cpuOwner[id]
 }
 
 // BusID implements bus.Snooper: negative, so the board observes every
@@ -257,13 +281,11 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 		return bus.RespNull
 	}
 	// Reject traffic from bus IDs not assigned to any emulated node.
-	if len(b.cpuOwner[tx.SrcID]) == 0 {
+	if len(b.owners(tx.SrcID)) == 0 {
 		b.cUnassigned.Inc()
 		return bus.RespNull
 	}
-	if c := b.cPerCPU[tx.SrcID]; c != nil {
-		c.Inc()
-	}
+	b.cPerCPU[tx.SrcID].Inc()
 
 	// Trace collection mode.
 	if b.capture != nil {
@@ -284,7 +306,7 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 	// Drain whatever the SDRAMs have finished by now, then admit the new
 	// transaction into the lock-step buffer.
 	b.drain(tx.Cycle)
-	if len(b.queue) >= b.cfg.BufferDepth {
+	if len(b.queue)-b.qhead >= b.cfg.BufferDepth {
 		b.cOverflow.Inc()
 		if b.cfg.RetryOnOverflow {
 			b.cRetryPosted.Inc()
@@ -294,9 +316,9 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 		// equivalent of the buffer never actually losing work).
 	}
 	b.cAccepted.Inc()
-	b.queue = append(b.queue, pending{seq: tx.Seq, cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
+	b.enqueue(pending{seq: tx.Seq, cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
 	b.justEnqueued = true
-	if hw := uint64(len(b.queue)); hw > b.cBufferHigh.Value() {
+	if hw := uint64(len(b.queue) - b.qhead); hw > b.cBufferHigh.Value() {
 		b.cBufferHigh.Reset()
 		b.cBufferHigh.Add(hw)
 	}
@@ -305,12 +327,106 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 	return bus.RespNull
 }
 
+// enqueue admits one pending transaction, recycling the drained prefix
+// of the queue's backing array before growing it: the queue is a ring in
+// all but name, so a board in steady state never re-allocates it.
+func (b *Board) enqueue(p pending) {
+	if len(b.queue) == cap(b.queue) && b.qhead > 0 {
+		n := copy(b.queue, b.queue[b.qhead:])
+		b.queue = b.queue[:n]
+		b.qhead = 0
+	}
+	b.queue = append(b.queue, p)
+}
+
+// SnoopBatch observes a slice of transactions exactly as consecutive
+// Snoop calls would — same filter decisions, same drain timing, same
+// counter values — while amortizing the per-transaction bookkeeping:
+// the cycle gauge and buffer high-water are folded once per batch, and
+// per-command counts accumulate in a scratch array before a single
+// saturating Add each. It is bit-identical to the serial path (proven
+// by TestSnoopBatchMatchesSerial) but cannot post overflow retries,
+// because the combined-response window for each transaction has closed
+// by the time a batch is handed over; boards configured with
+// RetryOnOverflow must use Snoop.
+func (b *Board) SnoopBatch(txs []bus.Transaction) {
+	if b.cfg.RetryOnOverflow {
+		panic("core: SnoopBatch on a RetryOnOverflow board; responses are asynchronous")
+	}
+	if len(txs) == 0 {
+		return
+	}
+	b.justEnqueued = false
+	byCmd := b.batchByCmd
+	var accepted, overflow uint64
+	hw := b.cBufferHigh.Value()
+	scrubIv := b.cfg.ScrubIntervalCycles
+	for i := range txs {
+		tx := &txs[i]
+		if int(tx.Cmd) < len(byCmd) {
+			byCmd[tx.Cmd]++
+		}
+		if !tx.Cmd.IsMemoryOp() {
+			if tx.Cmd == bus.IORead || tx.Cmd == bus.IOWrite {
+				b.cRejectedIO.Inc()
+			} else {
+				b.cRejectedOther.Inc()
+			}
+			continue
+		}
+		if len(b.owners(tx.SrcID)) == 0 {
+			b.cUnassigned.Inc()
+			continue
+		}
+		b.cPerCPU[tx.SrcID].Inc()
+		if b.capture != nil {
+			if stored, err := b.capture.Add(tracefile.FromTransaction(tx)); err == nil && stored {
+				b.cTraceCaptured.Inc()
+			} else {
+				b.cTraceDropped.Inc()
+			}
+		}
+		if scrubIv > 0 && tx.Cycle >= b.nextScrub {
+			b.ScrubNow()
+			b.nextScrub = tx.Cycle + scrubIv
+		}
+		b.drain(tx.Cycle)
+		if len(b.queue)-b.qhead >= b.cfg.BufferDepth {
+			overflow++
+		}
+		accepted++
+		b.enqueue(pending{seq: tx.Seq, cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
+		if occ := uint64(len(b.queue) - b.qhead); occ > hw {
+			hw = occ
+		}
+	}
+	b.lastCycle = txs[len(txs)-1].Cycle
+	b.cCycles.Reset()
+	b.cCycles.Add(b.lastCycle)
+	for cmd, n := range byCmd {
+		if n > 0 {
+			b.cByCmd[cmd].Add(n)
+			byCmd[cmd] = 0
+		}
+	}
+	b.cAccepted.Add(accepted)
+	b.cOverflow.Add(overflow)
+	if hw > b.cBufferHigh.Value() {
+		b.cBufferHigh.Reset()
+		b.cBufferHigh.Add(hw)
+	}
+}
+
 // ObserveResponse implements bus.ResponseObserver: §3.3's filter rule —
 // a memory operation that another bus device retried never happened, so
 // it must not occupy transaction-buffer space or touch the directories.
 func (b *Board) ObserveResponse(tx *bus.Transaction, combined bus.SnoopResponse) {
 	if combined == bus.RespRetry && b.justEnqueued {
-		b.queue = b.queue[:len(b.queue)-1]
+		b.queue = b.queue[:len(b.queue)-1] // pop the entry Snoop just pushed
+		if b.qhead == len(b.queue) {
+			b.queue = b.queue[:0]
+			b.qhead = 0
+		}
 		b.cRejectedRetried.Inc()
 		// The accepted counter tracked the enqueue; take it back.
 		// (40-bit counters cannot decrement; account the rejection
@@ -320,10 +436,12 @@ func (b *Board) ObserveResponse(tx *bus.Transaction, combined bus.SnoopResponse)
 }
 
 // drain services buffered transactions whose lock-step SDRAM slot starts
-// by the given cycle.
+// by the given cycle. Serviced entries advance qhead rather than
+// re-slicing the queue, so the backing array is reused (enqueue
+// compacts) instead of sliding toward a re-allocation per wrap.
 func (b *Board) drain(now uint64) {
-	for len(b.queue) > 0 {
-		p := b.queue[0]
+	for b.qhead < len(b.queue) {
+		p := b.queue[b.qhead]
 		// Lock-step: every node controller performs its directory
 		// operation for this transaction in the same service slot, so
 		// the op starts when the slowest node's SDRAM channel is free.
@@ -345,8 +463,10 @@ func (b *Board) drain(now uint64) {
 		if b.onDrain != nil {
 			b.onDrain(p.seq, p.cycle, p.cmd, p.addr, p.src)
 		}
-		b.queue = b.queue[1:]
+		b.qhead++
 	}
+	b.queue = b.queue[:0]
+	b.qhead = 0
 }
 
 // Flush services every buffered transaction regardless of timing; callers
@@ -356,14 +476,14 @@ func (b *Board) Flush() {
 }
 
 // PendingDepth returns the current transaction-buffer occupancy.
-func (b *Board) PendingDepth() int { return len(b.queue) }
+func (b *Board) PendingDepth() int { return len(b.queue) - b.qhead }
 
 // process applies one memory operation to every emulated node, group by
 // group: the node owning the requesting CPU performs the local
 // transition with the snoop input combined from its group peers; the
 // peers perform the matching snoop transition.
 func (b *Board) process(p pending) {
-	for _, local := range b.cpuOwner[p.src] {
+	for _, local := range b.owners(p.src) {
 		// Combined snoop input from the other nodes of this group.
 		snoopIn := coherence.SnoopNone
 		for _, peer := range b.nodes {

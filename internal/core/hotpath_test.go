@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/coherence"
+	"memories/internal/host"
+	"memories/internal/workload"
+)
+
+// TestSnoopBatchMatchesSerial proves the batched ingest is bit-identical
+// to per-transaction Snoop: same counters (every one, including buffer
+// telemetry — a single board sees the same occupancy either way), same
+// drain log, same trace capture, for several batch sizes and feature
+// configurations.
+func TestSnoopBatchMatchesSerial(t *testing.T) {
+	const n = 60_000
+	txs := shardTestStream(n)
+
+	configs := map[string]func() Config{
+		"base": shardTestConfig,
+		"trace": func() Config {
+			cfg := shardTestConfig()
+			cfg.TraceCapacity = 4096
+			return cfg
+		},
+		"scrub": func() Config {
+			cfg := shardTestConfig()
+			cfg.ECC = true
+			cfg.ScrubIntervalCycles = 50_000
+			return cfg
+		},
+		"tiny-buffer": func() Config {
+			// Overflow (count-only) path exercised on every transaction
+			// burst the SDRAM pacing cannot keep up with.
+			cfg := shardTestConfig()
+			cfg.BufferDepth = 2
+			return cfg
+		},
+	}
+
+	for name, mkCfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			serial := MustNewBoard(mkCfg())
+			var serialEvents []DrainEvent
+			serial.SetDrainObserver(func(seq, cycle uint64, cmd bus.Command, a uint64, src int) {
+				serialEvents = append(serialEvents, DrainEvent{Seq: seq, Cycle: cycle, Cmd: cmd, Addr: a, Src: src})
+			})
+			for i := range txs {
+				tx := txs[i]
+				serial.Snoop(&tx)
+			}
+			serial.Flush()
+			want := serial.Counters().Snapshot()
+
+			for _, batchSize := range []int{1, 7, 128, n} {
+				batched := MustNewBoard(mkCfg())
+				var events []DrainEvent
+				batched.SetDrainObserver(func(seq, cycle uint64, cmd bus.Command, a uint64, src int) {
+					events = append(events, DrainEvent{Seq: seq, Cycle: cycle, Cmd: cmd, Addr: a, Src: src})
+				})
+				for i := 0; i < len(txs); i += batchSize {
+					end := i + batchSize
+					if end > len(txs) {
+						end = len(txs)
+					}
+					batch := append([]bus.Transaction(nil), txs[i:end]...)
+					batched.SnoopBatch(batch)
+				}
+				batched.Flush()
+
+				label := fmt.Sprintf("batch=%d", batchSize)
+				diffSnapshots(t, want, batched.Counters().Snapshot(), label)
+				if len(events) != len(serialEvents) {
+					t.Fatalf("%s: %d drain events, serial %d", label, len(events), len(serialEvents))
+				}
+				for i := range events {
+					if events[i] != serialEvents[i] {
+						t.Fatalf("%s: event %d = %+v, serial %+v", label, i, events[i], serialEvents[i])
+					}
+				}
+				if sc, bc := serial.Trace(), batched.Trace(); (sc == nil) != (bc == nil) {
+					t.Fatalf("%s: capture presence differs", label)
+				} else if sc != nil {
+					if sc.Len() != bc.Len() || sc.Dropped() != bc.Dropped() {
+						t.Fatalf("%s: capture len/dropped %d/%d, serial %d/%d",
+							label, bc.Len(), bc.Dropped(), sc.Len(), sc.Dropped())
+					}
+					for i := 0; i < sc.Len(); i++ {
+						if sc.Record(i) != bc.Record(i) {
+							t.Fatalf("%s: capture record %d differs", label, i)
+						}
+					}
+				}
+				for i := 0; i < serial.NumNodes(); i++ {
+					if batched.Node(i) != serial.Node(i) {
+						t.Fatalf("%s: node %d view %+v, serial %+v", label, i, batched.Node(i), serial.Node(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnoopBatchRejectsRetryBoards: the batch path cannot deliver
+// per-transaction retry responses, so a RetryOnOverflow board must
+// refuse it loudly rather than silently dropping retries.
+func TestSnoopBatchRejectsRetryBoards(t *testing.T) {
+	cfg := shardTestConfig()
+	cfg.RetryOnOverflow = true
+	b := MustNewBoard(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SnoopBatch on a RetryOnOverflow board did not panic")
+		}
+	}()
+	b.SnoopBatch([]bus.Transaction{{Cmd: bus.Read, Addr: 0x1000, Size: 128}})
+}
+
+// TestBoardRejectsBadBusIDs: bus IDs must fit the 8-bit bus tag that the
+// trace format and the dense per-CPU slices both rely on.
+func TestBoardRejectsBadBusIDs(t *testing.T) {
+	for _, id := range []int{-1, MaxBusID + 1} {
+		cfg := Config{Nodes: []NodeConfig{{
+			CPUs:     []int{id},
+			Geometry: addr.MustGeometry(2*addr.MB, 128, 4),
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+		}}}
+		if _, err := NewBoard(cfg); err == nil {
+			t.Errorf("NewBoard accepted bus ID %d", id)
+		}
+	}
+	// The top of the range is fine.
+	cfg := Config{Nodes: []NodeConfig{{
+		CPUs:     []int{MaxBusID},
+		Geometry: addr.MustGeometry(2*addr.MB, 128, 4),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}}}
+	b := MustNewBoard(cfg)
+	tx := bus.Transaction{Cmd: bus.Read, Addr: 0x2000, Size: 128, SrcID: MaxBusID}
+	b.Snoop(&tx)
+	b.Flush()
+	if got := b.Counters().Value("filter.accepted"); got != 1 {
+		t.Fatalf("accepted = %d, want 1", got)
+	}
+	// Unassigned and out-of-range source IDs are filtered, not crashed on.
+	for _, src := range []int{-1, 3, 1 << 20} {
+		tx := bus.Transaction{Cmd: bus.Read, Addr: 0x3000, Size: 128, SrcID: src}
+		b.Snoop(&tx)
+	}
+	b.Flush()
+	if got := b.Counters().Value("filter.unassigned"); got != 3 {
+		t.Fatalf("unassigned = %d, want 3", got)
+	}
+}
+
+// TestBoardSnoopAllocFree is an ISSUE 3 acceptance criterion: the
+// steady-state snoop path — filter, counters, SDRAM-paced drain,
+// directory transitions, evictions — performs zero heap allocations per
+// transaction.
+func TestBoardSnoopAllocFree(t *testing.T) {
+	b := MustNewBoard(shardTestConfig())
+	txs := shardTestStream(4096)
+	// Warm up: queue ring and replacement structures reach steady state.
+	for i := range txs {
+		b.Snoop(&txs[i])
+	}
+	cycle := txs[len(txs)-1].Cycle
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		cycle += 48
+		tx := txs[i%len(txs)]
+		tx.Cycle = cycle
+		b.Snoop(&tx)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Board.Snoop allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestHostStepAllocFree: the full emulation loop — workload generation,
+// private MESI hierarchy, bus issue, board snoop and drain — allocates
+// nothing per reference once warm. This is the end-to-end form of the
+// ISSUE 3 zero-allocation criterion.
+func TestHostStepAllocFree(t *testing.T) {
+	gen := workload.NewUniform(workload.UniformConfig{
+		NumCPUs:       8,
+		FootprintByte: 64 * addr.MB,
+		WriteFraction: 0.3,
+		Seed:          7,
+	})
+	h := host.MustNew(host.DefaultConfig(), gen)
+	b := MustNewBoard(shardTestConfig())
+	h.Bus().Attach(b)
+	h.Run(200_000) // warm caches, queue ring, replacement state
+	allocs := testing.AllocsPerRun(20000, func() {
+		h.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("host.Step allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestSnoopBatchAllocFree: the batched ingest must allocate nothing
+// beyond the caller-owned batch slice.
+func TestSnoopBatchAllocFree(t *testing.T) {
+	b := MustNewBoard(shardTestConfig())
+	txs := shardTestStream(4096)
+	b.SnoopBatch(txs)
+	cycle := txs[len(txs)-1].Cycle
+	batch := make([]bus.Transaction, 64)
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		for j := range batch {
+			cycle += 48
+			batch[j] = txs[(i+j)%len(txs)]
+			batch[j].Cycle = cycle
+		}
+		i += len(batch)
+		b.SnoopBatch(batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("Board.SnoopBatch allocates %.2f/run, want 0", allocs)
+	}
+}

@@ -37,8 +37,10 @@ type node struct {
 	cECCCorrected         *stats.Counter
 	cECCInvalidated       *stats.Counter
 	cWildState            *stats.Counter
-	perCPUHit             map[int]*stats.Counter
-	perCPUMiss            map[int]*stats.Counter
+	// perCPUHit/perCPUMiss are bus-ID-indexed dense slices (nil holes
+	// for IDs this node does not own); the hot path indexes, never maps.
+	perCPUHit  []*stats.Counter
+	perCPUMiss []*stats.Counter
 	// cTransition counts every (operation, prior state, snoop input)
 	// lookup the controller performs — the fine-grained event counters
 	// that put the hardware board above 400 counters in total. Snoop-side
@@ -55,6 +57,11 @@ func newNode(b *Board, nc NodeConfig, profileBucket uint64) (*node, error) {
 	}
 	if len(nc.CPUs) == 0 {
 		return nil, fmt.Errorf("core: node %q owns no CPUs", nc.Name)
+	}
+	for _, id := range nc.CPUs {
+		if id < 0 || id > MaxBusID {
+			return nil, fmt.Errorf("core: node %q bus ID %d outside 0..%d", nc.Name, id, MaxBusID)
+		}
 	}
 	dir, err := cache.New(cache.Config{Geometry: nc.Geometry, Policy: nc.Policy, ECC: b.cfg.ECC})
 	if err != nil {
@@ -101,8 +108,14 @@ func (n *node) initCounters(bank *stats.Bank) {
 	n.cECCCorrected = bank.Counter(p + "ecc.corrected")
 	n.cECCInvalidated = bank.Counter(p + "ecc.invalidated")
 	n.cWildState = bank.Counter(p + "ecc.wild-state")
-	n.perCPUHit = make(map[int]*stats.Counter, len(n.cfg.CPUs))
-	n.perCPUMiss = make(map[int]*stats.Counter, len(n.cfg.CPUs))
+	maxID := 0
+	for _, id := range n.cfg.CPUs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	n.perCPUHit = make([]*stats.Counter, maxID+1)
+	n.perCPUMiss = make([]*stats.Counter, maxID+1)
 	for _, id := range n.cfg.CPUs {
 		n.perCPUHit[id] = bank.Counter(fmt.Sprintf("%scpu%02d.hit", p, id))
 		n.perCPUMiss[id] = bank.Counter(fmt.Sprintf("%scpu%02d.miss", p, id))

@@ -251,15 +251,16 @@ func (sb *ShardedBoard) Start() {
 	}
 }
 
-// worker drains shard s's channel, applying each transaction to the
-// shard board. It is the only goroutine that ever touches that board.
+// worker drains shard s's channel, applying each batch to the shard
+// board through the amortized batch ingest (bit-identical to per-
+// transaction Snoop; the config restrictions NewShardedBoard enforces
+// are exactly SnoopBatch's preconditions). It is the only goroutine
+// that ever touches that board.
 func (sb *ShardedBoard) worker(s int) {
 	defer sb.wg.Done()
 	shard := sb.shards[s]
 	for batch := range sb.chans[s] {
-		for i := range batch {
-			shard.Snoop(&batch[i])
-		}
+		shard.SnoopBatch(batch)
 		batch = batch[:0]
 		sb.pool.Put(&batch)
 	}

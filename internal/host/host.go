@@ -152,6 +152,13 @@ type Host struct {
 	idleCarry    float64 // fractional idle bus cycles pending
 	cyclesPerRef float64 // idle cycles per instruction
 	ioAddr       uint64
+
+	// tx is the scratch transaction reused by every bus issue on the
+	// step hot path. Safe because no snooper retains the pointer past
+	// its Snoop/ObserveResponse call (the board copies the fields it
+	// buffers), and the host is single-threaded; it is what makes
+	// Host.Step allocation-free.
+	tx bus.Transaction
 }
 
 // New builds the host. The workload generator may be nil and set later
@@ -272,12 +279,13 @@ func (h *Host) injectIO(cpuID int) {
 	default:
 		cmd = bus.Sync
 	}
-	h.bus.Issue(&bus.Transaction{
+	h.tx = bus.Transaction{
 		Cmd:   cmd,
 		Addr:  (1 << 52) | (h.ioAddr & 0xffff), // I/O space, outside memory
 		Size:  8,
 		SrcID: cpuID,
-	})
+	}
+	h.bus.Issue(&h.tx)
 }
 
 // access runs one reference through the private hierarchy.
@@ -366,11 +374,12 @@ func (h *Host) issueWithRetry(tx *bus.Transaction) bus.SnoopResponse {
 func (c *cpu) upgrade(line uint64) {
 	h := c.host
 	h.stats.Upgrades++
-	h.issueWithRetry(&bus.Transaction{
+	h.tx = bus.Transaction{
 		Cmd:   bus.DClaim,
 		Addr:  line,
 		SrcID: c.id,
-	})
+	}
+	h.issueWithRetry(&h.tx)
 	c.coh.SetState(line, stModified)
 }
 
@@ -383,12 +392,13 @@ func (c *cpu) miss(line uint64, write bool) {
 	if write {
 		cmd = bus.RWITM
 	}
-	resp := h.issueWithRetry(&bus.Transaction{
+	h.tx = bus.Transaction{
 		Cmd:   cmd,
 		Addr:  line,
 		Size:  int(h.cfg.LineSize),
 		SrcID: c.id,
-	})
+	}
+	resp := h.issueWithRetry(&h.tx)
 
 	// Memory-latency stall; only MissOverlap misses hide each other.
 	h.idleCarry += h.cfg.MissStallBusCycles / h.cfg.MissOverlap
@@ -412,12 +422,13 @@ func (c *cpu) miss(line uint64, write bool) {
 		}
 		if victim.State == stModified {
 			h.stats.Castouts++
-			h.issueWithRetry(&bus.Transaction{
+			h.tx = bus.Transaction{
 				Cmd:   bus.Castout,
 				Addr:  victim.Addr,
 				Size:  int(h.cfg.LineSize),
 				SrcID: c.id,
-			})
+			}
+			h.issueWithRetry(&h.tx)
 		}
 	}
 }

@@ -1,0 +1,105 @@
+// Package prof gives the measurement commands (cmd/experiments,
+// cmd/tracesim) a shared set of profiling flags so hot-loop work can be
+// attributed with the standard Go toolchain:
+//
+//	experiments -bench table3 -cpuprofile cpu.pb.gz
+//	go tool pprof cpu.pb.gz
+//
+// The flags are plain stdlib runtime/pprof and runtime/trace plumbing;
+// the point of centralizing them is that every command spells them the
+// same way and stops them in the right order (trace and CPU profile
+// first, then the end-of-run heap snapshot).
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the destinations parsed from the command line. Empty
+// strings mean "off".
+type Config struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Flags registers -cpuprofile, -memprofile, and -trace on fs and returns
+// the Config they fill in after fs.Parse.
+func Flags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+	return c
+}
+
+// Start begins whichever collections are configured and returns a stop
+// function that finishes them (idempotent — safe to call on both the
+// error and success paths). A nil Config starts nothing.
+func (c *Config) Start() (stop func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+			traceF = nil
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			cpuF = nil
+		}
+	}
+	if c.CPUProfile != "" {
+		cpuF, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			return nil, fmt.Errorf("prof: %v", err)
+		}
+	}
+	if c.Trace != "" {
+		traceF, err = os.Create(c.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %v", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: %v", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		cleanup()
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

@@ -152,9 +152,17 @@ func (s *TraceSim) Process(rec tracefile.Record) {
 	}
 }
 
-// Run drains a trace reader through the simulator, returning the record
-// count.
-func (s *TraceSim) Run(r *tracefile.Reader) (uint64, error) {
+// ProcessBatch applies a decoded batch of records in order; it is the
+// slab-oriented counterpart of Process used by the streaming v2 pipeline.
+func (s *TraceSim) ProcessBatch(recs []tracefile.Record) {
+	for i := range recs {
+		s.Process(recs[i])
+	}
+}
+
+// Run drains a trace reader (either format) through the simulator,
+// returning the record count.
+func (s *TraceSim) Run(r tracefile.RecordReader) (uint64, error) {
 	var n uint64
 	for {
 		rec, err := r.Next()

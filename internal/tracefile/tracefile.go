@@ -121,12 +121,8 @@ type Reader struct {
 // NewReader validates the file magic and returns a record reader.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	head := make([]byte, len(Magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
-	}
-	if string(head) != Magic {
-		return nil, fmt.Errorf("tracefile: bad magic %q", head)
+	if err := expectMagic(br, Magic); err != nil {
+		return nil, err
 	}
 	return &Reader{br: br}, nil
 }
@@ -192,20 +188,10 @@ func (c *Capture) Full() bool { return len(c.records) >= c.limit }
 // Record returns the i-th stored record.
 func (c *Capture) Record(i int) Record { return Unpack(c.records[i]) }
 
-// Dump writes the captured trace as a file (the "dump to a disk in the
-// console machine" step).
+// Dump writes the captured trace as a version-1 file (the "dump to a
+// disk in the console machine" step); see DumpFormat for v2.
 func (c *Capture) Dump(w io.Writer) error {
-	tw, err := NewWriter(w)
-	if err != nil {
-		return err
-	}
-	for _, v := range c.records {
-		r := Unpack(v)
-		if err := tw.Write(r); err != nil {
-			return err
-		}
-	}
-	return tw.Flush()
+	return c.DumpFormat(w, FormatV1)
 }
 
 // Reset clears the capture buffer for a new collection window.

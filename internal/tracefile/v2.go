@@ -1,0 +1,544 @@
+// Trace format version 2 ("MIES0002"): block-framed varint delta
+// encoding. Version 1 spends a fixed 8 bytes per bus reference; almost
+// all of that is address entropy that successive references do not have
+// — bus traffic is bursty and spatially local, so the doubleword-granular
+// address deltas between consecutive records are small. V2 exploits that:
+//
+//	file    := "MIES0002" block*
+//	block   := count:u32le  payloadLen:u32le  crc32(payload):u32le  payload
+//	payload := record*                            (exactly count records)
+//	record  := tag [cmd src]? zigzag-uvarint(Δ(addr>>3))
+//
+// The tag byte packs command and source bus ID into one byte for the
+// common case (cmd <= 14, src <= 15: tag = cmd<<4 | src); rarer values
+// escape with tag 0xF0 followed by the full cmd and src bytes. The
+// address is carried as the zigzag-encoded delta of the doubleword
+// index (addr>>3) from the previous record in the same block; the first
+// record of a block deltas from zero. A typical record is therefore 2-4
+// bytes instead of 8.
+//
+// Deltas reset at every block boundary, so blocks decode independently:
+// that is what lets ForEachBatch fan block decoding out across workers
+// and re-deliver the batches in file order, and what keeps a single
+// flipped bit from poisoning more than one block (each block carries a
+// CRC-32 of its payload).
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/bits"
+
+	"memories/internal/bus"
+	"memories/internal/parallel"
+)
+
+// MagicV2 identifies a version-2 MemorIES trace file.
+const MagicV2 = "MIES0002"
+
+// DefaultBlockRecords is the number of records per block sealed by a
+// V2Writer: large enough to amortize the 12-byte header and give decode
+// workers meaningful slabs, small enough that a corrupt block loses
+// little and streaming readers stay cache-resident.
+const DefaultBlockRecords = 4096
+
+const (
+	blockHeaderSize = 12
+	// maxBlockRecords bounds the per-block record count a reader will
+	// accept, so a corrupt header cannot demand an absurd allocation.
+	maxBlockRecords = 1 << 20
+	// maxRecordBytes is the worst-case encoded record: escape tag (3
+	// bytes) plus a maximal 10-byte varint.
+	maxRecordBytes = 13
+	// minRecordBytes is the best case: packed tag plus a 1-byte varint.
+	minRecordBytes = 2
+)
+
+// ErrCorrupt is returned when a v2 block fails its CRC or its payload
+// does not decode to exactly the advertised record count.
+var ErrCorrupt = errors.New("tracefile: corrupt v2 block")
+
+// appendRecordV2 appends one encoded record to dst, returning the
+// extended slice and the new previous-doubleword value.
+func appendRecordV2(dst []byte, prev uint64, r Record) ([]byte, uint64, error) {
+	if r.Addr&7 != 0 {
+		return dst, prev, fmt.Errorf("%w: %#x", ErrUnaligned, r.Addr)
+	}
+	if r.Addr >= MaxAddr {
+		return dst, prev, fmt.Errorf("%w: %#x", ErrAddrRange, r.Addr)
+	}
+	if r.Cmd <= 14 && r.SrcID <= 15 {
+		dst = append(dst, byte(r.Cmd)<<4|r.SrcID)
+	} else {
+		dst = append(dst, 0xF0, byte(r.Cmd), r.SrcID)
+	}
+	word := r.Addr >> 3
+	d := int64(word - prev)
+	dst = binary.AppendUvarint(dst, uint64(d<<1)^uint64(d>>63))
+	return dst, word, nil
+}
+
+// decodeBlockV2 decodes a block payload holding count records, appending
+// them to dst (typically recs[:0] of a reused slab). The payload must be
+// consumed exactly.
+//
+// This is the inner loop of the streaming trace pipeline, so it is
+// written for speed: dst is pre-sized and stored by index, and while at
+// least maxRecordBytes remain the varint is extracted from a single
+// 8-byte little-endian load instead of a byte-at-a-time loop. That load
+// is always sufficient for well-formed data — deltas are doubleword
+// indices below MaxAddr>>3 (2^48), so their zigzag encoding fits 7
+// varint bytes; anything needing more is corrupt and takes the slow
+// path, which rejects it.
+func decodeBlockV2(payload []byte, count int, dst []Record) ([]Record, error) {
+	base := len(dst)
+	if cap(dst) < base+count {
+		dst = append(dst, make([]Record, count)...)
+	} else {
+		dst = dst[:base+count]
+	}
+	var prev uint64
+	i := 0
+	n := 0
+	for ; n < count && len(payload)-i >= maxRecordBytes; n++ {
+		recStart := i
+		tag := payload[i]
+		i++
+		var cmd, src uint8
+		if tag < 0xF0 {
+			cmd, src = tag>>4, tag&0xF
+		} else {
+			if tag != 0xF0 {
+				return dst[:base+n], ErrCorrupt
+			}
+			cmd, src = payload[i], payload[i+1]
+			i += 2
+		}
+		x := binary.LittleEndian.Uint64(payload[i:])
+		// Varint length from the continuation bits, then a branch-free
+		// 8→7-bit fold: delta lengths vary record to record, so a
+		// byte-at-a-time loop pays a branch misprediction per record.
+		nb := bits.TrailingZeros64(^x&0x8080808080808080) >> 3
+		if nb >= 8 {
+			// A 9- or 10-byte varint: legal varint64 space but out of
+			// range for any valid delta here — defer the whole record to
+			// the checked slow path, which rejects or accepts it byte by
+			// byte.
+			i = recStart
+			break
+		}
+		x &= 1<<(8*uint(nb)+8) - 1 // keep the nb+1 participating bytes
+		x &= 0x7F7F7F7F7F7F7F7F    // drop the continuation bits
+		x = (x & 0x007F007F007F007F) | ((x & 0x7F007F007F007F00) >> 1)
+		x = (x & 0x00003FFF00003FFF) | ((x & 0x3FFF00003FFF0000) >> 2)
+		u := (x & 0x000000000FFFFFFF) | ((x & 0x0FFFFFFF00000000) >> 4)
+		i += nb + 1
+		d := int64(u>>1) ^ -int64(u&1)
+		prev += uint64(d)
+		if prev >= MaxAddr>>3 {
+			return dst[:base+n], ErrCorrupt
+		}
+		dst[base+n] = Record{Addr: prev << 3, Cmd: bus.Command(cmd), SrcID: src}
+	}
+	// Checked tail: the last few records of the block (and any escape to
+	// the >8-byte varint case above).
+	for ; n < count; n++ {
+		if i >= len(payload) {
+			return dst[:base+n], ErrCorrupt
+		}
+		tag := payload[i]
+		i++
+		var cmd, src uint8
+		if tag >= 0xF0 {
+			if tag != 0xF0 || i+2 > len(payload) {
+				return dst[:base+n], ErrCorrupt
+			}
+			cmd, src = payload[i], payload[i+1]
+			i += 2
+		} else {
+			cmd, src = tag>>4, tag&0xF
+		}
+		u, n2 := binary.Uvarint(payload[i:])
+		if n2 <= 0 {
+			return dst[:base+n], ErrCorrupt
+		}
+		i += n2
+		d := int64(u>>1) ^ -int64(u&1)
+		prev += uint64(d)
+		if prev >= MaxAddr>>3 {
+			return dst[:base+n], ErrCorrupt
+		}
+		dst[base+n] = Record{Addr: prev << 3, Cmd: bus.Command(cmd), SrcID: src}
+	}
+	if i != len(payload) {
+		return dst[:base+n], ErrCorrupt
+	}
+	return dst, nil
+}
+
+// V2Writer streams records as version-2 blocks. Not safe for concurrent
+// use; for parallel encoding see EncodeV2Blocks.
+type V2Writer struct {
+	bw           *bufio.Writer
+	payload      []byte
+	n            int
+	prev         uint64
+	blockRecords int
+	count        uint64
+	hdr          [blockHeaderSize]byte
+}
+
+// NewV2Writer writes the v2 magic and returns a block writer sealing
+// blocks of DefaultBlockRecords records.
+func NewV2Writer(w io.Writer) (*V2Writer, error) {
+	return NewV2WriterBlock(w, DefaultBlockRecords)
+}
+
+// NewV2WriterBlock is NewV2Writer with an explicit block size.
+func NewV2WriterBlock(w io.Writer, blockRecords int) (*V2Writer, error) {
+	if blockRecords <= 0 || blockRecords > maxBlockRecords {
+		return nil, fmt.Errorf("tracefile: block size %d out of range (1..%d)", blockRecords, maxBlockRecords)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(MagicV2); err != nil {
+		return nil, err
+	}
+	return &V2Writer{bw: bw, blockRecords: blockRecords}, nil
+}
+
+// Write appends one record, sealing a block when it fills. The hot path
+// is allocation-free once the payload buffer has grown to steady state.
+func (w *V2Writer) Write(r Record) error {
+	payload, prev, err := appendRecordV2(w.payload, w.prev, r)
+	if err != nil {
+		return err
+	}
+	w.payload, w.prev = payload, prev
+	w.n++
+	w.count++
+	if w.n >= w.blockRecords {
+		return w.seal()
+	}
+	return nil
+}
+
+// seal frames and writes the current block, if any.
+func (w *V2Writer) seal() error {
+	if w.n == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:], uint32(w.n))
+	binary.LittleEndian.PutUint32(w.hdr[4:], uint32(len(w.payload)))
+	binary.LittleEndian.PutUint32(w.hdr[8:], crc32.ChecksumIEEE(w.payload))
+	if _, err := w.bw.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.payload); err != nil {
+		return err
+	}
+	w.payload = w.payload[:0]
+	w.n = 0
+	w.prev = 0
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *V2Writer) Count() uint64 { return w.count }
+
+// Flush seals the partial block and drains the buffered writer. The
+// writer remains usable; a subsequent Write starts a new block.
+func (w *V2Writer) Flush() error {
+	if err := w.seal(); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// V2Reader streams records from a version-2 trace: it decodes a block at
+// a time into a reused slab and serves records from it, replacing v1's
+// per-record io.ReadFull with a slab decode.
+type V2Reader struct {
+	br    *bufio.Reader
+	frame []byte
+	recs  []Record
+	pos   int
+	count uint64
+	hdr   [blockHeaderSize]byte
+}
+
+// NewV2Reader validates the v2 magic and returns a reader.
+func NewV2Reader(r io.Reader) (*V2Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if err := expectMagic(br, MagicV2); err != nil {
+		return nil, err
+	}
+	return newV2Reader(br), nil
+}
+
+func newV2Reader(br *bufio.Reader) *V2Reader {
+	return &V2Reader{br: br}
+}
+
+// readBlockRaw reads and sanity-checks one block header, then fills
+// frame (reused, regrown as needed) with the raw payload. The CRC from
+// the header is returned unverified — checkBlockCRC runs separately so
+// the parallel pipeline can push that work onto decode workers. It
+// returns io.EOF only at a clean block boundary; a torn header or
+// payload yields a wrapped io.ErrUnexpectedEOF.
+func readBlockRaw(br *bufio.Reader, frame []byte) (count int, crc uint32, _ []byte, err error) {
+	var hdr [blockHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, frame, io.EOF
+		}
+		return 0, 0, frame, fmt.Errorf("tracefile: torn v2 block header: %w", io.ErrUnexpectedEOF)
+	}
+	count = int(binary.LittleEndian.Uint32(hdr[0:]))
+	plen := int(binary.LittleEndian.Uint32(hdr[4:]))
+	crc = binary.LittleEndian.Uint32(hdr[8:])
+	if count < 1 || count > maxBlockRecords ||
+		plen < count*minRecordBytes || plen > count*maxRecordBytes {
+		return 0, 0, frame, fmt.Errorf("%w: implausible header (count=%d, payload=%d)", ErrCorrupt, count, plen)
+	}
+	if cap(frame) < plen {
+		frame = make([]byte, plen)
+	}
+	frame = frame[:plen]
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return 0, 0, frame, fmt.Errorf("tracefile: torn v2 block payload: %w", io.ErrUnexpectedEOF)
+	}
+	return count, crc, frame, nil
+}
+
+// checkBlockCRC verifies a raw payload against its header CRC.
+func checkBlockCRC(payload []byte, crc uint32) error {
+	if crc32.ChecksumIEEE(payload) != crc {
+		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// loadBlock decodes the next block into the record slab.
+func (r *V2Reader) loadBlock() error {
+	count, crc, frame, err := readBlockRaw(r.br, r.frame)
+	r.frame = frame
+	if err != nil {
+		return err
+	}
+	if err := checkBlockCRC(frame, crc); err != nil {
+		return err
+	}
+	recs, err := decodeBlockV2(frame, count, r.recs[:0])
+	r.recs = recs
+	if err != nil {
+		return err
+	}
+	r.pos = 0
+	return nil
+}
+
+// Next returns the next record, or io.EOF after the last block. A torn
+// or corrupt block yields a wrapped io.ErrUnexpectedEOF or ErrCorrupt.
+func (r *V2Reader) Next() (Record, error) {
+	if r.pos >= len(r.recs) {
+		if err := r.loadBlock(); err != nil {
+			return Record{}, err
+		}
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	r.count++
+	return rec, nil
+}
+
+// Count returns the number of records read so far.
+func (r *V2Reader) Count() uint64 { return r.count }
+
+// ForEachBatch streams a trace of either format to emit as decoded
+// record batches, auto-detecting the magic. The batch slice is reused
+// between calls: emit must finish with it before returning. For v2
+// traces, up to `workers` blocks are CRC-checked and decoded
+// concurrently (via internal/parallel) and the batches delivered
+// strictly in file order, so the consumer sees exactly the sequential
+// record stream; workers <= 1 decodes inline. It returns the number of
+// records delivered.
+func ForEachBatch(r io.Reader, workers int, emit func([]Record) error) (uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<18)
+	magic, err := readMagic(br)
+	if err != nil {
+		return 0, err
+	}
+	switch magic {
+	case Magic:
+		return v1Batches(br, emit)
+	case MagicV2:
+		return v2Batches(br, workers, emit)
+	}
+	return 0, fmt.Errorf("tracefile: bad magic %q", magic)
+}
+
+// v1Batches slab-decodes fixed-size v1 records.
+func v1Batches(br *bufio.Reader, emit func([]Record) error) (uint64, error) {
+	const batch = DefaultBlockRecords
+	raw := make([]byte, batch*RecordSize)
+	recs := make([]Record, 0, batch)
+	var total uint64
+	for {
+		n, err := io.ReadFull(br, raw)
+		if n%RecordSize != 0 {
+			return total, fmt.Errorf("tracefile: torn record after %d: %w", total+uint64(n/RecordSize), io.ErrUnexpectedEOF)
+		}
+		recs = recs[:0]
+		for i := 0; i < n; i += RecordSize {
+			recs = append(recs, Unpack(binary.LittleEndian.Uint64(raw[i:])))
+		}
+		if len(recs) > 0 {
+			total += uint64(len(recs))
+			if eerr := emit(recs); eerr != nil {
+				return total, eerr
+			}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// v2Batches reads a window of raw block frames, decodes them on up to
+// `workers` workers, and emits the decoded batches in file order.
+func v2Batches(br *bufio.Reader, workers int, emit func([]Record) error) (uint64, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	type slot struct {
+		frame []byte
+		recs  []Record
+		count int
+		crc   uint32
+	}
+	slots := make([]slot, workers)
+	var total uint64
+	for {
+		// Fill the window serially (the file is one stream).
+		filled := 0
+		var readErr error
+		for filled < workers {
+			s := &slots[filled]
+			count, crc, frame, err := readBlockRaw(br, s.frame)
+			s.frame = frame
+			if err != nil {
+				readErr = err
+				break
+			}
+			s.count = count
+			s.crc = crc
+			filled++
+		}
+		// CRC-check and decode the window concurrently, results slotted
+		// by index. Hashing in the workers keeps the serial reader thread
+		// down to header parsing and byte shuffling.
+		if filled > 0 {
+			err := parallel.ForEach(workers, filled, func(i int) error {
+				if cerr := checkBlockCRC(slots[i].frame, slots[i].crc); cerr != nil {
+					return cerr
+				}
+				recs, derr := decodeBlockV2(slots[i].frame, slots[i].count, slots[i].recs[:0])
+				slots[i].recs = recs
+				return derr
+			})
+			if err != nil {
+				return total, err
+			}
+			for i := 0; i < filled; i++ {
+				total += uint64(len(slots[i].recs))
+				if err := emit(slots[i].recs); err != nil {
+					return total, err
+				}
+			}
+		}
+		if readErr == io.EOF {
+			return total, nil
+		}
+		if readErr != nil {
+			return total, readErr
+		}
+	}
+}
+
+// EncodeV2Blocks writes a v2 trace from successive record batches
+// returned by next (nil ends the stream). Each non-empty batch becomes
+// exactly one block; up to `workers` batches are encoded concurrently
+// (via internal/parallel) and written strictly in call order, so the
+// output is byte-identical at any worker count. Batches must remain
+// untouched until the following next call returns. Returns the records
+// written.
+func EncodeV2Blocks(w io.Writer, workers int, next func() []Record) (uint64, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	bw := bufio.NewWriterSize(w, 1<<18)
+	if _, err := bw.WriteString(MagicV2); err != nil {
+		return 0, err
+	}
+	window := make([][]Record, 0, workers)
+	blobs := make([][]byte, workers)
+	var total uint64
+	done := false
+	for !done {
+		window = window[:0]
+		for len(window) < workers {
+			batch := next()
+			if batch == nil {
+				done = true
+				break
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			if len(batch) > maxBlockRecords {
+				return total, fmt.Errorf("tracefile: batch of %d exceeds block limit %d", len(batch), maxBlockRecords)
+			}
+			window = append(window, batch)
+		}
+		if len(window) == 0 {
+			continue
+		}
+		err := parallel.ForEach(workers, len(window), func(i int) error {
+			blob := blobs[i][:0]
+			if cap(blob) == 0 {
+				blob = make([]byte, 0, blockHeaderSize+len(window[i])*4)
+			}
+			blob = blob[:blockHeaderSize]
+			var prev uint64
+			var err error
+			for _, rec := range window[i] {
+				if blob, prev, err = appendRecordV2(blob, prev, rec); err != nil {
+					return err
+				}
+			}
+			payload := blob[blockHeaderSize:]
+			binary.LittleEndian.PutUint32(blob[0:], uint32(len(window[i])))
+			binary.LittleEndian.PutUint32(blob[4:], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(blob[8:], crc32.ChecksumIEEE(payload))
+			blobs[i] = blob
+			return nil
+		})
+		if err != nil {
+			return total, err
+		}
+		for i := range window {
+			if _, err := bw.Write(blobs[i]); err != nil {
+				return total, err
+			}
+			total += uint64(len(window[i]))
+		}
+	}
+	return total, bw.Flush()
+}

@@ -1,0 +1,546 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"memories/internal/bus"
+)
+
+// testRecords builds a trace mixing bursty spatial locality (small
+// deltas, the case v2 compresses) with far jumps, backward deltas, and
+// escape-path records (cmd > 14 or src > 15).
+func testRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, 0, n)
+	addr := uint64(1) << 20
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0: // far jump
+			addr = uint64(rng.Int63n(int64(MaxAddr>>3))) << 3
+		case 1: // backward step
+			if addr >= 4096 {
+				addr -= uint64(rng.Intn(512)) * 8
+			}
+		default: // sequential-ish burst
+			addr += uint64(rng.Intn(16)) * 8
+		}
+		if addr >= MaxAddr {
+			addr = MaxAddr - 8
+		}
+		r := Record{
+			Addr:  addr &^ 7,
+			Cmd:   bus.Command(rng.Intn(bus.NumCommands())),
+			SrcID: uint8(rng.Intn(12)),
+		}
+		if rng.Intn(20) == 0 { // escape path: src out of packed range
+			r.SrcID = uint8(16 + rng.Intn(240))
+		}
+		if rng.Intn(20) == 0 { // escape path: cmd out of packed range
+			r.Cmd = bus.Command(15 + rng.Intn(241))
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func writeV2(t *testing.T, recs []Record, blockRecords int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewV2WriterBlock(&buf, blockRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readAll(t *testing.T, r RecordReader) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	want := testRecords(10000, 7)
+	data := writeV2(t, want, 512)
+	r, err := NewV2Reader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, r)
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if r.Count() != uint64(len(want)) {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+// TestV2MatchesV1 proves the v2 round-trip is bit-identical to v1: the
+// same record stream written through both formats reads back equal,
+// record for record.
+func TestV2MatchesV1(t *testing.T) {
+	recs := testRecords(5000, 13)
+
+	var v1buf bytes.Buffer
+	w1, err := NewWriter(&v1buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v2data := writeV2(t, recs, DefaultBlockRecords)
+
+	r1, err := Open(bytes.NewReader(v1buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(bytes.NewReader(v2data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.(*Reader); !ok {
+		t.Fatalf("Open(v1) = %T, want *Reader", r1)
+	}
+	if _, ok := r2.(*V2Reader); !ok {
+		t.Fatalf("Open(v2) = %T, want *V2Reader", r2)
+	}
+	g1, g2 := readAll(t, r1), readAll(t, r2)
+	if len(g1) != len(recs) || len(g2) != len(recs) {
+		t.Fatalf("lengths: v1=%d v2=%d want %d", len(g1), len(g2), len(recs))
+	}
+	for i := range recs {
+		if g1[i] != g2[i] {
+			t.Fatalf("record %d: v1=%+v v2=%+v", i, g1[i], g2[i])
+		}
+	}
+
+	// The compression claim: on this bursty trace, v2 should beat v1's
+	// fixed 8 bytes/record by a wide margin.
+	if len(v2data)*2 > v1buf.Len() {
+		t.Fatalf("v2 size %d not < half of v1 size %d", len(v2data), v1buf.Len())
+	}
+}
+
+func TestV2WriterRejectsBadRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewV2Writer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Addr: 0x1001}); !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned: err = %v", err)
+	}
+	if err := w.Write(Record{Addr: MaxAddr}); !errors.Is(err, ErrAddrRange) {
+		t.Fatalf("out of range: err = %v", err)
+	}
+	if _, err := NewV2WriterBlock(&buf, 0); err == nil {
+		t.Fatal("block size 0 accepted")
+	}
+	if _, err := NewV2WriterBlock(&buf, maxBlockRecords+1); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}
+
+func TestV2TruncatedBlock(t *testing.T) {
+	data := writeV2(t, testRecords(100, 3), 64)
+
+	// Torn payload: cut mid-block.
+	r, err := NewV2Reader(bytes.NewReader(data[:len(data)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for {
+		if _, lastErr = r.Next(); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn payload error = %v, want ErrUnexpectedEOF", lastErr)
+	}
+
+	// Torn header: cut inside the second block's 12-byte header.
+	hdrEnd := len(MagicV2) + blockHeaderSize
+	r, err = NewV2Reader(bytes.NewReader(data[:hdrEnd-4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn header error = %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Clean EOF at a block boundary is NOT an error.
+	r, err = NewV2Reader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, r); len(got) != 100 {
+		t.Fatalf("clean read got %d records", len(got))
+	}
+}
+
+func TestV2CorruptCRC(t *testing.T) {
+	data := writeV2(t, testRecords(100, 5), 64)
+
+	// Flip one payload bit: CRC catches it.
+	mut := append([]byte(nil), data...)
+	mut[len(MagicV2)+blockHeaderSize+3] ^= 0x40
+	r, err := NewV2Reader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped bit error = %v, want ErrCorrupt", err)
+	}
+
+	// Implausible header (count way beyond payload) is rejected before
+	// any allocation.
+	mut = append([]byte(nil), data...)
+	mut[len(MagicV2)] = 0xFF
+	mut[len(MagicV2)+1] = 0xFF
+	mut[len(MagicV2)+2] = 0xFF
+	r, err = NewV2Reader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible header error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	if _, err := Open(bytes.NewReader([]byte("MIES9999"))); err == nil {
+		t.Fatal("unknown magic accepted")
+	}
+	if _, err := Open(bytes.NewReader([]byte("MI"))); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+	}{{"v1", FormatV1}, {"1", FormatV1}, {Magic, FormatV1}, {"v2", FormatV2}, {"2", FormatV2}, {MagicV2, FormatV2}} {
+		got, err := ParseFormat(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseFormat("v3"); err == nil {
+		t.Fatal("ParseFormat accepted v3")
+	}
+	if FormatV1.String() != "v1" || FormatV2.String() != "v2" {
+		t.Fatal("Format.String mismatch")
+	}
+}
+
+// TestCopyRecordsConvert drives the tracegen-convert path: v1 -> v2 ->
+// v1 through CopyRecords must reproduce the original stream, and the
+// writer/reader counts must agree at every hop.
+func TestCopyRecordsConvert(t *testing.T) {
+	recs := testRecords(3000, 29)
+	var v1 bytes.Buffer
+	w1, err := NewWriterFormat(&v1, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	hop := func(data []byte, f Format) []byte {
+		t.Helper()
+		r, err := Open(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		w, err := NewWriterFormat(&out, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := CopyRecords(w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(len(recs)) || w.Count() != n || r.Count() != n {
+			t.Fatalf("copied %d (writer %d, reader %d), want %d", n, w.Count(), r.Count(), len(recs))
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+
+	v2data := hop(v1.Bytes(), FormatV2)
+	back := hop(v2data, FormatV1)
+	if !bytes.Equal(back, v1.Bytes()) {
+		t.Fatal("v1 -> v2 -> v1 conversion is not byte-identical")
+	}
+
+	// Errors from the source must surface, reporting progress so far.
+	r, err := Open(bytes.NewReader(v2data[:len(v2data)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	w, err := NewWriterFormat(&out, FormatV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CopyRecords(w, r); err == nil {
+		t.Fatal("truncated source copied without error")
+	}
+}
+
+func TestCaptureDumpFormatV2(t *testing.T) {
+	c := NewCapture(100)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Add(Record{Addr: uint64(i) * 128, Cmd: bus.Read, SrcID: uint8(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.DumpFormat(&buf, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, r)
+	if len(got) != 10 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i, rec := range got {
+		if rec.Addr != uint64(i)*128 || rec.SrcID != uint8(i) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+}
+
+// TestForEachBatchMatchesSerial proves batch delivery is in file order
+// and record-identical to the streaming readers, for both formats and
+// several worker counts.
+func TestForEachBatchMatchesSerial(t *testing.T) {
+	want := testRecords(9000, 17)
+
+	var v1buf bytes.Buffer
+	w1, err := NewWriter(&v1buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Odd block size so the final block is partial.
+	v2data := writeV2(t, want, 700)
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{{"v1", v1buf.Bytes()}, {"v2", v2data}} {
+		for _, workers := range []int{1, 2, 4} {
+			var got []Record
+			n, err := ForEachBatch(bytes.NewReader(tc.data), workers, func(batch []Record) error {
+				got = append(got, batch...)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if n != uint64(len(want)) || len(got) != len(want) {
+				t.Fatalf("%s workers=%d: delivered %d/%d records", tc.name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: record %d = %+v, want %+v", tc.name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForEachBatchPropagatesErrors(t *testing.T) {
+	data := writeV2(t, testRecords(100, 23), 32)
+	sentinel := errors.New("stop")
+	_, err := ForEachBatch(bytes.NewReader(data), 2, func([]Record) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error = %v", err)
+	}
+	mut := append([]byte(nil), data...)
+	mut[len(MagicV2)+blockHeaderSize] ^= 1
+	_, err = ForEachBatch(bytes.NewReader(mut), 2, func([]Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt block error = %v", err)
+	}
+	if _, err := ForEachBatch(bytes.NewReader([]byte("MIESXXXX")), 1, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestEncodeV2BlocksDeterministic proves parallel encode produces
+// byte-identical output at every worker count, equal to the serial
+// V2Writer with the same block size.
+func TestEncodeV2BlocksDeterministic(t *testing.T) {
+	recs := testRecords(5000, 29)
+	const block = 512
+	want := writeV2(t, recs, block)
+
+	chunk := func() func() []Record {
+		i := 0
+		return func() []Record {
+			if i >= len(recs) {
+				return nil
+			}
+			end := i + block
+			if end > len(recs) {
+				end = len(recs)
+			}
+			b := recs[i:end]
+			i = end
+			return b
+		}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var buf bytes.Buffer
+		n, err := EncodeV2Blocks(&buf, workers, chunk())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != uint64(len(recs)) {
+			t.Fatalf("workers=%d: wrote %d records", workers, n)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("workers=%d: output differs from serial writer", workers)
+		}
+	}
+}
+
+func TestEncodeV2BlocksRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]Record, maxBlockRecords+1)
+	done := false
+	_, err := EncodeV2Blocks(&buf, 2, func() []Record {
+		if done {
+			return nil
+		}
+		done = true
+		return big
+	})
+	if err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	done = false
+	_, err = EncodeV2Blocks(&buf, 2, func() []Record {
+		if done {
+			return nil
+		}
+		done = true
+		return []Record{{Addr: 3}}
+	})
+	if !errors.Is(err, ErrUnaligned) {
+		t.Fatalf("unaligned record error = %v", err)
+	}
+}
+
+// TestV2WriteAllocFree asserts the v2 hot write path is allocation-free
+// at steady state (ISSUE 3 acceptance criterion).
+func TestV2WriteAllocFree(t *testing.T) {
+	w, err := NewV2WriterBlock(io.Discard, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Addr: 0x1000, Cmd: bus.Read, SrcID: 3}
+	// Warm up past buffer growth: several full blocks.
+	for i := 0; i < 2048; i++ {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		rec.Addr += 64
+	}
+	allocs := testing.AllocsPerRun(4096, func() {
+		rec.Addr += 64
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("V2Writer.Write allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestV2ReadAllocFree asserts the v2 hot read path is allocation-free at
+// steady state: uniform block sizes, so frame/record slabs stabilize
+// after the first block.
+func TestV2ReadAllocFree(t *testing.T) {
+	// Constant stride => every record encodes to the same width, so
+	// every block payload is the same size and the reused frame slab
+	// never regrows mid-stream.
+	recs := make([]Record, 1<<16)
+	for i := range recs {
+		recs[i] = Record{Addr: uint64(i) * 64, Cmd: bus.Read, SrcID: 3}
+	}
+	data := writeV2(t, recs, 256)
+	r, err := NewV2Reader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: a few blocks settle the slab capacities.
+	for i := 0; i < 2048; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(16384, func() {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("V2Reader.Next allocates %.2f/op, want 0", allocs)
+	}
+}
