@@ -12,6 +12,7 @@ package memories
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"runtime"
 	"testing"
@@ -69,6 +70,52 @@ func BenchmarkTable3BoardSnoop(b *testing.B) {
 	}
 	board.Flush()
 	b.ReportMetric(board.Node(0).MissRatio(), "missratio")
+}
+
+// --- Table 2 bigmem corner: the paper's largest advertised config ---
+
+// bigmemFlag gates the fully allocated 8 GB directory benchmark, which
+// commits ~512 MB of packed tag words. Run with:
+//
+//	go test -run '^$' -bench Table2BigMem -bigmem .
+var bigmemFlag = flag.Bool("bigmem", false, "enable the fully allocated 8 GB directory benchmark")
+
+// BenchmarkTable2BigMemSnoop measures snoop throughput against the 8 GB,
+// 128 B-line Table 2 corner with the directory fully resident — the
+// configuration whose footprint the packed single-word layout exists to
+// make practical (64M slots x 8 B = 512 MB, vs ~1.1 GB across the old
+// parallel arrays). The random working set spans the whole 8 GB so
+// probes walk the full packed array.
+func BenchmarkTable2BigMemSnoop(b *testing.B) {
+	if !*bigmemFlag {
+		b.Skip("pass -bigmem to run the 8 GB fully allocated directory benchmark")
+	}
+	board := core.MustNewBoard(SingleL3Board(8*GB, 1, 128))
+	// Commit the whole directory up front: one fill per slot.
+	cycle := uint64(0)
+	slots := board.DirectorySlots(0)
+	for i := int64(0); i < slots; i++ {
+		cycle += 24
+		board.Snoop(&bus.Transaction{Cmd: bus.Read, Addr: uint64(i) * 128, Size: 128, SrcID: 0, Cycle: cycle})
+	}
+	board.Flush()
+	if board.DirectoryResident(0) != slots {
+		b.Fatalf("directory not fully resident: %d of %d", board.DirectoryResident(0), slots)
+	}
+	gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 8 * addr.GB, WriteFraction: 0.3, Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, _ := gen.Next()
+		cmd := bus.Read
+		if ref.Write {
+			cmd = bus.RWITM
+		}
+		cycle += 48
+		board.Snoop(&bus.Transaction{Cmd: cmd, Addr: ref.Addr, Size: 128, SrcID: ref.CPU, Cycle: cycle})
+	}
+	board.Flush()
+	b.ReportMetric(board.Node(0).MissRatio(), "missratio")
+	b.ReportMetric(float64(board.DirectoryBytes(0))/float64(slots), "B/slot")
 }
 
 // --- Table 4: execution-driven simulation ---

@@ -4,6 +4,10 @@
 //
 //   - compares -current against -baseline, failing on any benchmark
 //     matching -filter whose median ns/op regressed more than -threshold;
+//   - additionally gates the comma-separated -gate metrics (B/op,
+//     allocs/op, ...) with the same threshold; a metric that was 0 in the
+//     baseline and nonzero now always fails, so an allocation-free hot
+//     path cannot quietly start allocating;
 //   - optionally checks that the -speedup benchmark's highest -cpu
 //     variant is at least -min-speedup times faster than its lowest, and
 //     that -parity metrics are bit-identical across -cpu variants;
@@ -14,9 +18,10 @@
 //
 // Typical CI usage:
 //
-//	go test -run '^$' -bench . -benchtime 1000x -count 6 . > bench.txt
+//	go test -run '^$' -bench . -benchtime 1000x -count 6 -benchmem . > bench.txt
 //	benchdiff -baseline ci/bench-baseline.txt -current bench.txt \
-//	    -filter 'Table3|Fig8' -threshold 0.10 -json BENCH_2026-01-02.json
+//	    -filter 'Table3|Fig8' -threshold 0.10 -gate 'B/op,allocs/op' \
+//	    -json BENCH_2026-01-02.json
 //	benchdiff -current bench.txt -speedup BenchmarkBoardSnoopParallel \
 //	    -min-speedup 2.5 -parity missratio
 //	benchdiff -current bench-trace.txt -ratio-base BenchmarkTraceReadV1 \
@@ -29,18 +34,20 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"strings"
 
 	"memories/internal/benchfmt"
 )
 
 type artifact struct {
-	Current   []benchfmt.Summary `json:"current"`
-	Baseline  []benchfmt.Summary `json:"baseline,omitempty"`
-	Deltas    []benchfmt.Delta   `json:"deltas,omitempty"`
-	Speedup   float64            `json:"speedup,omitempty"`
-	Ratio     float64            `json:"ratio,omitempty"`
-	Threshold float64            `json:"threshold"`
-	Filter    string             `json:"filter"`
+	Current      []benchfmt.Summary     `json:"current"`
+	Baseline     []benchfmt.Summary     `json:"baseline,omitempty"`
+	Deltas       []benchfmt.Delta       `json:"deltas,omitempty"`
+	MetricDeltas []benchfmt.MetricDelta `json:"metric_deltas,omitempty"`
+	Speedup      float64                `json:"speedup,omitempty"`
+	Ratio        float64                `json:"ratio,omitempty"`
+	Threshold    float64                `json:"threshold"`
+	Filter       string                 `json:"filter"`
 }
 
 func main() {
@@ -49,6 +56,7 @@ func main() {
 		currentPath  = flag.String("current", "", "current bench output (required)")
 		threshold    = flag.Float64("threshold", 0.10, "relative ns/op regression that fails the gate")
 		filter       = flag.String("filter", "Table3|Fig8", "regexp of benchmark names the gate guards")
+		gate         = flag.String("gate", "", "comma-separated extra metrics to gate at -threshold (e.g. 'B/op,allocs/op')")
 		jsonPath     = flag.String("json", "", "write a JSON artifact of summaries and deltas")
 		speedup      = flag.String("speedup", "", "benchmark whose -cpu scaling to check")
 		minSpeedup   = flag.Float64("min-speedup", 2.5, "minimum highest-vs-lowest -cpu speedup")
@@ -85,6 +93,30 @@ func main() {
 			}
 			fmt.Printf("%-50s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n",
 				name(d.Key), d.Old, d.New, (d.Ratio-1)*100, status)
+		}
+		for _, metric := range strings.Split(*gate, ",") {
+			metric = strings.TrimSpace(metric)
+			if metric == "" {
+				continue
+			}
+			mds := benchfmt.CompareMetric(art.Baseline, current, metric, *threshold, re)
+			if len(mds) == 0 {
+				fatal(fmt.Errorf("no benchmarks matching %q report %s in both files", *filter, metric))
+			}
+			art.MetricDeltas = append(art.MetricDeltas, mds...)
+			for _, d := range mds {
+				status := "ok"
+				if d.Regressed {
+					status = "REGRESSED"
+					failed = true
+				}
+				change := fmt.Sprintf("%+6.1f%%", (d.Ratio-1)*100)
+				if d.Old == 0 {
+					change = "   n/a" // a zero baseline has no finite ratio
+				}
+				fmt.Printf("%-50s %10.1f -> %10.1f %-9s %s  %s\n",
+					name(d.Key), d.Old, d.New, d.Metric, change, status)
+			}
 		}
 	}
 

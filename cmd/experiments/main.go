@@ -37,6 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker bound, both across experiments and across sweep points within one; 1 is the serial golden run (bit-identical results at any setting)")
+		bigmem   = flag.Bool("bigmem", false, "run the fully allocated big-memory corners (table2's 8 GB directory: ~512 MB RAM, tens of seconds)")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -84,7 +85,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel})
+			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem})
 			results[i] = outcome{id: id, res: res, err: err, elapsed: time.Since(start)}
 		}(i, id)
 	}

@@ -171,6 +171,67 @@ func Compare(baseline, current []Summary, threshold float64, filter *regexp.Rege
 	return out
 }
 
+// MetricDelta is one baseline-vs-current comparison of a named metric.
+type MetricDelta struct {
+	Key
+	// Metric is the compared unit ("B/op", "allocs/op", "ns/op", ...).
+	Metric string
+	// Old and New are the median values of baseline and current.
+	Old, New float64
+	// Ratio is New/Old (0 when Old is 0; see Regressed for that case).
+	Ratio float64
+	// Regressed is true when New exceeds Old by more than the gate's
+	// threshold — or when Old is 0 and New is not, so a formerly
+	// allocation-free benchmark that starts allocating always trips the
+	// gate regardless of threshold.
+	Regressed bool
+}
+
+// CompareMetric matches current summaries against baseline ones (by key,
+// restricted to names matching filter when non-nil) and flags any whose
+// named metric grew by more than threshold (0.10 = +10%). "ns/op" is
+// accepted as a metric name. Benchmarks where both sides are 0 (e.g.
+// allocs/op on an allocation-free path) pass; old 0 with new nonzero
+// regresses unconditionally. Benchmarks or metrics present on only one
+// side are skipped: the gate guards kernels measured in both runs.
+func CompareMetric(baseline, current []Summary, metric string, threshold float64, filter *regexp.Regexp) []MetricDelta {
+	base := map[Key]Summary{}
+	for _, s := range baseline {
+		base[s.Key] = s
+	}
+	value := func(s Summary) (float64, bool) {
+		if metric == "ns/op" {
+			return s.NsPerOp, true
+		}
+		v, ok := s.Metrics[metric]
+		return v, ok
+	}
+	var out []MetricDelta
+	for _, cur := range current {
+		if filter != nil && !filter.MatchString(cur.Name) {
+			continue
+		}
+		b, ok := base[cur.Key]
+		if !ok {
+			continue
+		}
+		bv, bok := value(b)
+		cv, cok := value(cur)
+		if !bok || !cok {
+			continue
+		}
+		d := MetricDelta{Key: cur.Key, Metric: metric, Old: bv, New: cv}
+		if bv == 0 {
+			d.Regressed = cv > 0
+		} else {
+			d.Ratio = cv / bv
+			d.Regressed = d.Ratio > 1+threshold
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // Speedup returns the ns/op ratio between the lowest- and highest-procs
 // variants of name (serial time / parallel time), and the procs of each.
 func Speedup(summaries []Summary, name string) (ratio float64, loProcs, hiProcs int, err error) {

@@ -107,6 +107,55 @@ func TestCompareFlagsSyntheticSlowdown(t *testing.T) {
 	}
 }
 
+// TestCompareMetricGatesAllocs covers the -benchmem gate: B/op within the
+// threshold passes, growth beyond it fails, and a benchmark whose baseline
+// allocs/op was 0 regresses the moment it allocates at all — no threshold
+// can excuse a formerly allocation-free hot path that starts allocating.
+func TestCompareMetricGatesAllocs(t *testing.T) {
+	const memSample = `
+Benchmark%s 	 1000	 500.0 ns/op	 %d B/op	 %d allocs/op
+`
+	parse := func(bops, allocs int) []Summary {
+		t.Helper()
+		rs, err := Parse(strings.NewReader(fmt.Sprintf(memSample, "Table3BoardSnoop", bops, allocs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(rs)
+	}
+	base := parse(100, 0)
+	filter := regexp.MustCompile(`Table3`)
+
+	for _, d := range CompareMetric(base, parse(105, 0), "B/op", 0.10, filter) {
+		if d.Regressed {
+			t.Fatalf("5%% B/op growth tripped the 10%% gate: %+v", d)
+		}
+	}
+	mds := CompareMetric(base, parse(150, 0), "B/op", 0.10, filter)
+	if len(mds) != 1 || !mds[0].Regressed {
+		t.Fatalf("50%% B/op growth not flagged: %+v", mds)
+	}
+	// Zero-baseline rule: 0 -> 1 allocs/op regresses at any threshold,
+	// 0 -> 0 passes.
+	mds = CompareMetric(base, parse(100, 1), "allocs/op", 10.0, filter)
+	if len(mds) != 1 || !mds[0].Regressed {
+		t.Fatalf("allocation on a zero-alloc baseline not flagged: %+v", mds)
+	}
+	for _, d := range CompareMetric(base, parse(100, 0), "allocs/op", 0.0, filter) {
+		if d.Regressed {
+			t.Fatalf("0 -> 0 allocs/op flagged: %+v", d)
+		}
+	}
+	// ns/op is addressable through the same gate, and a metric missing
+	// from either side is skipped rather than failed.
+	if mds := CompareMetric(base, parse(100, 0), "ns/op", 0.10, filter); len(mds) != 1 || mds[0].Regressed {
+		t.Fatalf("ns/op via CompareMetric: %+v", mds)
+	}
+	if mds := CompareMetric(parseSample(t), parse(100, 0), "B/op", 0.10, filter); len(mds) != 0 {
+		t.Fatalf("metric absent from baseline still compared: %+v", mds)
+	}
+}
+
 func TestSpeedupAndParity(t *testing.T) {
 	ss := parseSample(t)
 	ratio, lo, hi, err := Speedup(ss, "BenchmarkBoardSnoopParallel")

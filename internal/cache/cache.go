@@ -18,9 +18,10 @@ type Config struct {
 	// Seed initializes the Random replacement generator; ignored for the
 	// deterministic policies.
 	Seed uint64
-	// ECC maintains a SECDED check byte per tag slot so that soft errors
-	// injected with CorruptSlot can be detected and repaired by Scrub.
-	// Off by default; the board enables it for its tag directories.
+	// ECC maintains a SECDED check byte inside each packed tag word so
+	// that soft errors injected with CorruptSlot can be detected and
+	// repaired by Scrub. Off by default; the board enables it for its tag
+	// directories.
 	ECC bool
 }
 
@@ -41,16 +42,29 @@ type Victim struct {
 	State uint8  // its state at eviction time
 }
 
-// Cache is a set-associative tag/state array. It is not safe for
-// concurrent use; every user in this codebase drives it from a single
-// simulation loop.
+// Cache is a set-associative tag/state array. Each slot is one packed
+// sdram.Word — tag, state, replacement rank, and SECDED check byte in a
+// single uint64, mirroring the board's SDRAM entry format (paper §3.3) —
+// so a probe touches one machine word per way instead of parallel
+// tag/state/ECC/replacer arrays. It is not safe for concurrent use;
+// every user in this codebase drives it from a single simulation loop.
 type Cache struct {
 	geom  addr.Geometry
-	tags  []uint64
-	state []uint8
-	ecc   []uint8 // SECDED check bytes; nil when ECC is disabled
-	repl  replacer
-	stats Stats
+	words []sdram.Word
+	// perSet holds replacement metadata that is per-set rather than
+	// per-slot: the packed PLRU tree (setStride bytes per set), or the
+	// FIFO rotation pointer for associativities too wide for the in-word
+	// rank field. Nil otherwise.
+	perSet    []uint8
+	setStride int64
+	// wideRank holds per-slot LRU ranks when assoc-1 exceeds the in-word
+	// rank field; nil for the hardware-realistic associativities.
+	wideRank []uint8
+	policy   Policy
+	rng      uint64 // xorshift64 state for Random replacement
+	hasECC   bool
+	valid    int64 // resident lines, maintained incrementally
+	stats    Stats
 }
 
 // New builds a cache from cfg. PLRU requires power-of-two associativity.
@@ -59,35 +73,41 @@ func New(cfg Config) (*Cache, error) {
 	if g.Sets == 0 {
 		return nil, fmt.Errorf("cache: zero geometry (use addr.NewGeometry)")
 	}
-	var r replacer
+	if g.Assoc > 256 {
+		return nil, fmt.Errorf("cache: associativity %d exceeds replacement metadata width", g.Assoc)
+	}
+	c := &Cache{
+		geom:   g,
+		words:  make([]sdram.Word, g.Lines()),
+		policy: cfg.Policy,
+		hasECC: cfg.ECC,
+	}
+	// An all-zero packed word is a self-consistent invalid entry even
+	// with ECC on (EncodeECC(0,0) == 0), so no initialization pass is
+	// needed: an 8 GB directory powers up by zero pages alone.
 	switch cfg.Policy {
 	case LRU:
-		r = newLRU(g.Sets, g.Assoc)
+		if g.Assoc-1 > sdram.WordRankMax {
+			c.wideRank = make([]uint8, g.Lines())
+		}
 	case PLRU:
 		if !addr.IsPow2(int64(g.Assoc)) {
 			return nil, fmt.Errorf("cache: PLRU requires power-of-two associativity, got %d", g.Assoc)
 		}
-		r = newPLRU(g.Sets, g.Assoc)
+		c.setStride = int64(g.Assoc-1+7) / 8
+		c.perSet = make([]uint8, g.Sets*c.setStride)
 	case FIFO:
-		r = newFIFO(g.Sets, g.Assoc)
+		if g.Assoc-1 > sdram.WordRankMax {
+			c.perSet = make([]uint8, g.Sets)
+			c.setStride = 1
+		}
 	case Random:
-		r = newRandom(g.Assoc, cfg.Seed)
+		c.rng = cfg.Seed
+		if c.rng == 0 {
+			c.rng = 0x9e3779b97f4a7c15
+		}
 	default:
 		return nil, fmt.Errorf("cache: unknown policy %v", cfg.Policy)
-	}
-	lines := g.Lines()
-	c := &Cache{
-		geom:  g,
-		tags:  make([]uint64, lines),
-		state: make([]uint8, lines),
-		repl:  r,
-	}
-	if cfg.ECC {
-		c.ecc = make([]uint8, lines)
-		zero := sdram.EncodeECC(0, StateInvalid)
-		for i := range c.ecc {
-			c.ecc[i] = zero
-		}
 	}
 	return c, nil
 }
@@ -110,52 +130,56 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the structural statistics without touching contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-// slot returns the flat index for (set, way).
-func (c *Cache) slot(set int64, way int) int64 { return set*int64(c.geom.Assoc) + int64(way) }
-
 // findWay returns the way within the set at base holding a valid line
-// with the given tag, or -1. Every lookup funnels through here; the
-// hardware-realistic associativities (1/2/4/8 ways, Table 2) take
+// with the given tag, or -1. Every lookup funnels through here. A way
+// matches when its word's tag field equals tag and its state field is
+// nonzero; shifting the check and rank bits away and XORing against the
+// pre-shifted probe tag reduces that to a single branch-free compare:
+//
+//	x := (word >> stateShift) ^ (tag << stateBits)
+//	match iff x-1 < 15   (tag fields equal and state in 1..15)
+//
+// The hardware-realistic associativities (1/2/4/8 ways, Table 2) take
 // unrolled fast paths over array views so the per-way bounds checks and
 // induction-variable overhead of the generic scan disappear from the
 // snoop hot loop.
 func (c *Cache) findWay(base int64, tag uint64) int {
+	if tag > sdram.WordTagMask {
+		return -1 // wider than the packed tag field: cannot be resident
+	}
+	probe := tag << sdram.WordStateBits
+	const shift, mask = sdram.WordStateShift, uint64(sdram.WordStateMask)
 	switch c.geom.Assoc {
 	case 1:
-		if c.state[base] != StateInvalid && c.tags[base] == tag {
+		if (uint64(c.words[base])>>shift^probe)-1 < mask {
 			return 0
 		}
 	case 2:
-		t := (*[2]uint64)(c.tags[base:])
-		s := (*[2]uint8)(c.state[base:])
-		if s[0] != StateInvalid && t[0] == tag {
+		w := (*[2]sdram.Word)(c.words[base:])
+		if (uint64(w[0])>>shift^probe)-1 < mask {
 			return 0
 		}
-		if s[1] != StateInvalid && t[1] == tag {
+		if (uint64(w[1])>>shift^probe)-1 < mask {
 			return 1
 		}
 	case 4:
-		t := (*[4]uint64)(c.tags[base:])
-		s := (*[4]uint8)(c.state[base:])
+		ws := (*[4]sdram.Word)(c.words[base:])
 		for w := 0; w < 4; w++ {
-			if s[w] != StateInvalid && t[w] == tag {
+			if (uint64(ws[w])>>shift^probe)-1 < mask {
 				return w
 			}
 		}
 	case 8:
-		t := (*[8]uint64)(c.tags[base:])
-		s := (*[8]uint8)(c.state[base:])
+		ws := (*[8]sdram.Word)(c.words[base:])
 		for w := 0; w < 8; w++ {
-			if s[w] != StateInvalid && t[w] == tag {
+			if (uint64(ws[w])>>shift^probe)-1 < mask {
 				return w
 			}
 		}
 	default:
-		end := base + int64(c.geom.Assoc)
-		t := c.tags[base:end]
-		s := c.state[base:end]
-		for w := range t {
-			if s[w] != StateInvalid && t[w] == tag {
+		ws := c.words[base : base+int64(c.geom.Assoc)]
+		for w := range ws {
+			if (uint64(ws[w])>>shift^probe)-1 < mask {
 				return w
 			}
 		}
@@ -169,7 +193,7 @@ func (c *Cache) Probe(a uint64) uint8 {
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
 	if w := c.findWay(base, tag); w >= 0 {
-		return c.state[base+int64(w)]
+		return c.words[base+int64(w)].State()
 	}
 	return StateInvalid
 }
@@ -183,8 +207,8 @@ func (c *Cache) Access(a uint64) uint8 {
 	base := set * int64(c.geom.Assoc)
 	if w := c.findWay(base, tag); w >= 0 {
 		c.stats.Hits++
-		c.repl.touch(set, w)
-		return c.state[base+int64(w)]
+		c.touch(set, base, w)
+		return c.words[base+int64(w)].State()
 	}
 	return StateInvalid
 }
@@ -199,8 +223,7 @@ func (c *Cache) SetState(a uint64, s uint8) bool {
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
 	if w := c.findWay(base, tag); w >= 0 {
-		c.state[base+int64(w)] = s
-		c.updateECC(base + int64(w))
+		c.writeState(base+int64(w), s)
 		return true
 	}
 	return false
@@ -209,39 +232,49 @@ func (c *Cache) SetState(a uint64, s uint8) bool {
 // Fill installs a line in state s, evicting a victim if the set is full.
 // It returns the victim (valid only when evicted is true). Filling a line
 // that is already resident updates its state in place and evicts nothing.
+// The line's tag must fit the packed tag field (addresses up to 2^56
+// bytes with 128 B lines); larger tags panic rather than alias.
 func (c *Cache) Fill(a uint64, s uint8) (victim Victim, evicted bool) {
 	if s == StateInvalid {
 		panic("cache: Fill with invalid state")
 	}
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
+	if tag > sdram.WordTagMask {
+		panic("cache: tag exceeds the packed tag field")
+	}
 	base := set * int64(c.geom.Assoc)
 	if w := c.findWay(base, tag); w >= 0 {
-		c.state[base+int64(w)] = s
-		c.updateECC(base + int64(w))
-		c.repl.touch(set, w)
+		c.writeState(base+int64(w), s)
+		c.touch(set, base, w)
 		return Victim{}, false
 	}
 	free := -1
 	for w := 0; w < c.geom.Assoc; w++ {
-		if c.state[base+int64(w)] == StateInvalid {
+		if c.words[base+int64(w)].State() == StateInvalid {
 			free = w
 			break
 		}
 	}
 	way := free
 	if way < 0 {
-		way = c.repl.victim(set)
+		way = c.victim(set, base)
+		old := c.words[base+int64(way)]
 		victim = Victim{
-			Addr:  c.geom.Rebuild(c.tags[base+int64(way)], set),
-			State: c.state[base+int64(way)],
+			Addr:  c.geom.Rebuild(old.Tag(), set),
+			State: old.State(),
 		}
 		evicted = true
 		c.stats.Evictions++
+	} else {
+		c.valid++
 	}
-	c.tags[base+int64(way)] = tag
-	c.state[base+int64(way)] = s
-	c.updateECC(base + int64(way))
-	c.repl.fill(set, way)
+	i := base + int64(way)
+	w := sdram.PackWord(tag, s, c.words[i].Rank(), 0)
+	if c.hasECC {
+		w = sdram.EncodeWordECC(w)
+	}
+	c.words[i] = w
+	c.fillRepl(set, base, way)
 	c.stats.Fills++
 	return victim, evicted
 }
@@ -252,26 +285,19 @@ func (c *Cache) Invalidate(a uint64) (prior uint8, found bool) {
 	set, tag := c.geom.Index(a), c.geom.Tag(a)
 	base := set * int64(c.geom.Assoc)
 	if w := c.findWay(base, tag); w >= 0 {
-		prior = c.state[base+int64(w)]
-		c.state[base+int64(w)] = StateInvalid
-		c.updateECC(base + int64(w))
+		i := base + int64(w)
+		prior = c.words[i].State()
+		c.writeInvalid(i)
 		c.stats.Invalidates++
 		return prior, true
 	}
 	return StateInvalid, false
 }
 
-// ValidCount returns the number of resident lines; used by occupancy
-// statistics and inclusion checks in tests.
-func (c *Cache) ValidCount() int64 {
-	var n int64
-	for _, s := range c.state {
-		if s != StateInvalid {
-			n++
-		}
-	}
-	return n
-}
+// ValidCount returns the number of resident lines in O(1); the count is
+// maintained incrementally by every state-changing operation (an 8 GB
+// directory scan would be 64M iterations per occupancy sample).
+func (c *Cache) ValidCount() int64 { return c.valid }
 
 // ForEachValid calls fn for every resident line with its line-aligned
 // address and state. Iteration order is set-major and must not be relied
@@ -280,43 +306,89 @@ func (c *Cache) ForEachValid(fn func(lineAddr uint64, state uint8)) {
 	for set := int64(0); set < c.geom.Sets; set++ {
 		base := set * int64(c.geom.Assoc)
 		for w := 0; w < c.geom.Assoc; w++ {
-			if s := c.state[base+int64(w)]; s != StateInvalid {
-				fn(c.geom.Rebuild(c.tags[base+int64(w)], set), s)
+			if wd := c.words[base+int64(w)]; wd.State() != StateInvalid {
+				fn(c.geom.Rebuild(wd.Tag(), set), wd.State())
 			}
 		}
 	}
 }
 
-// Clear invalidates every line (power-up initialization).
+// Clear invalidates every line (power-up initialization). Tags and
+// replacement metadata survive, exactly as in SDRAM: only the state
+// field is zeroed.
 func (c *Cache) Clear() {
-	for i := range c.state {
-		c.state[i] = StateInvalid
-		c.updateECC(int64(i))
+	for i := range c.words {
+		w := c.words[i].WithState(StateInvalid)
+		if c.hasECC {
+			w = sdram.EncodeWordECC(w)
+		}
+		c.words[i] = w
 	}
+	c.valid = 0
 }
 
-// updateECC refreshes the check byte of slot i after a legitimate
-// mutation (fault injection bypasses it on purpose).
-func (c *Cache) updateECC(i int64) {
-	if c.ecc != nil {
-		c.ecc[i] = sdram.EncodeECC(c.tags[i], c.state[i])
+// writeState rewrites the state field of slot i to a non-invalid value,
+// refreshing the check byte and the resident count.
+func (c *Cache) writeState(i int64, s uint8) {
+	w := c.words[i]
+	if w.State() == StateInvalid {
+		c.valid++
 	}
+	w = w.WithState(s)
+	if c.hasECC {
+		w = sdram.EncodeWordECC(w)
+	}
+	c.words[i] = w
+}
+
+// writeInvalid zeroes the state field of slot i, refreshing the check
+// byte and the resident count.
+func (c *Cache) writeInvalid(i int64) {
+	w := c.words[i]
+	if w.State() != StateInvalid {
+		c.valid--
+	}
+	w = w.WithState(StateInvalid)
+	if c.hasECC {
+		w = sdram.EncodeWordECC(w)
+	}
+	c.words[i] = w
 }
 
 // HasECC reports whether the cache maintains SECDED check bytes.
-func (c *Cache) HasECC() bool { return c.ecc != nil }
+func (c *Cache) HasECC() bool { return c.hasECC }
 
 // SlotCount returns the number of tag slots (sets x ways); fault
 // injection addresses slots by flat index.
-func (c *Cache) SlotCount() int64 { return int64(len(c.state)) }
+func (c *Cache) SlotCount() int64 { return int64(len(c.words)) }
 
-// CorruptSlot XORs the given masks into the stored tag and state of slot
-// i without updating the ECC sidecar — the software model of an SDRAM
-// soft error. It reports whether the slot held a valid line beforehand.
+// DirectoryBytes returns the backing-store footprint of the directory:
+// the packed word array plus any per-set or wide-associativity
+// replacement sidecars. With the paper's policies and associativities
+// this is 8 bytes per slot for LRU/FIFO/Random and 8 + stride/assoc for
+// PLRU — at most 9 bytes per slot, ECC included.
+func (c *Cache) DirectoryBytes() int64 {
+	return int64(len(c.words))*8 + int64(len(c.perSet)) + int64(len(c.wideRank))
+}
+
+// CorruptSlot XORs the given masks into the stored tag and state fields
+// of slot i without updating the in-word check byte — the software model
+// of an SDRAM soft error. Masks wider than the packed fields are
+// truncated (the physical word has nothing else to flip). It reports
+// whether the slot held a valid line beforehand.
 func (c *Cache) CorruptSlot(i int64, tagXor uint64, stateXor uint8) bool {
-	valid := c.state[i] != StateInvalid
-	c.tags[i] ^= tagXor
-	c.state[i] ^= stateXor
+	w := c.words[i]
+	valid := w.State() != StateInvalid
+	w ^= sdram.Word(tagXor&sdram.WordTagMask) << sdram.WordTagShift
+	w ^= sdram.Word(stateXor&sdram.WordStateMask) << sdram.WordStateShift
+	c.words[i] = w
+	if nowValid := w.State() != StateInvalid; nowValid != valid {
+		if nowValid {
+			c.valid++
+		} else {
+			c.valid--
+		}
+	}
 	return valid
 }
 
@@ -327,28 +399,37 @@ type ScrubReport struct {
 	Invalidated int64 // uncorrectable entries dropped
 }
 
-// Scrub verifies every slot against its SECDED check byte: single-bit
-// errors (in the tag, the state, or the code itself) are corrected in
-// place; uncorrectable entries are invalidated, which is always safe for
-// the board's non-inclusive emulated caches — the line simply re-misses.
-// Scrub is a no-op when ECC is disabled.
+// Scrub verifies every slot against its in-word SECDED check byte:
+// single-bit errors (in the tag, the state, or the code itself) are
+// corrected in place; uncorrectable entries are invalidated, which is
+// always safe for the board's non-inclusive emulated caches — the line
+// simply re-misses. Scrub is a no-op when ECC is disabled.
 func (c *Cache) Scrub() ScrubReport {
 	var rep ScrubReport
-	if c.ecc == nil {
+	if !c.hasECC {
 		return rep
 	}
-	for i := range c.state {
+	for i := range c.words {
 		rep.Scanned++
-		tag, st, res := sdram.CheckECC(c.tags[i], c.state[i], c.ecc[i])
+		w := c.words[i]
+		fixed, res := sdram.CheckWordECC(w)
 		switch res {
 		case sdram.ECCOK:
 		case sdram.ECCCorrected:
-			c.tags[i], c.state[i] = tag, st
-			c.ecc[i] = sdram.EncodeECC(tag, st)
+			if (w.State() != StateInvalid) != (fixed.State() != StateInvalid) {
+				if fixed.State() != StateInvalid {
+					c.valid++
+				} else {
+					c.valid--
+				}
+			}
+			c.words[i] = fixed
 			rep.Corrected++
 		default:
-			c.state[i] = StateInvalid
-			c.ecc[i] = sdram.EncodeECC(c.tags[i], StateInvalid)
+			if w.State() != StateInvalid {
+				c.valid--
+			}
+			c.words[i] = sdram.EncodeWordECC(w.WithState(StateInvalid))
 			rep.Invalidated++
 		}
 	}

@@ -59,83 +59,138 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("cache: unknown replacement policy %q", s)
 }
 
-// replacer tracks access recency/order for victim selection. Implementations
-// are indexed by (set, way) and must be allocation-free on the hot path.
-type replacer interface {
-	touch(set int64, way int) // on every access to a valid line
-	fill(set int64, way int)  // when a line is installed
-	victim(set int64) int     // which way to evict (only called on full sets)
+// Replacement metadata lives inside the packed words wherever it fits,
+// exactly like the board's SDRAM entries (tag/state/LRU in one word):
+//
+//   - LRU keeps a per-way recency rank in each word's rank field. Rank
+//     assoc-1 is the most recently used way; untouched ways sit at rank
+//     0. A touch promotes the way to assoc-1 and decrements every rank
+//     above its old one, so the touched ways always occupy the top ranks
+//     in recency order — the same total order a global use-stamp clock
+//     produces, which the equivalence tests verify against the unpacked
+//     layout. Associativities wider than the rank field (not reachable
+//     with the board's 1/2/4/8 ways) spill ranks to a per-slot side
+//     array.
+//   - FIFO keeps its per-set rotation pointer in the rank field of the
+//     set's way-0 word (the field is otherwise unused by FIFO), spilling
+//     to a per-set byte for wide associativities.
+//   - PLRU packs its assoc-1 tree bits into setStride bytes per set (one
+//     byte per set for the board's associativities).
+//   - Random needs only the xorshift64 generator state.
+
+// touch records a demand access to a valid way.
+func (c *Cache) touch(set, base int64, way int) {
+	switch c.policy {
+	case LRU:
+		c.lruTouch(base, way)
+	case PLRU:
+		c.plruTouch(set, way)
+	}
 }
 
-// lruReplacer keeps a per-line monotonic use stamp; the victim is the way
-// with the smallest stamp.
-type lruReplacer struct {
-	assoc  int
-	clock  uint64
-	stamps []uint64
+// fillRepl records a line installation into a way.
+func (c *Cache) fillRepl(set, base int64, way int) {
+	switch c.policy {
+	case LRU:
+		c.lruTouch(base, way)
+	case PLRU:
+		c.plruTouch(set, way)
+	case FIFO:
+		c.fifoFill(set, base, way)
+	}
 }
 
-func newLRU(sets int64, assoc int) *lruReplacer {
-	return &lruReplacer{assoc: assoc, stamps: make([]uint64, sets*int64(assoc))}
+// victim selects the way to evict from a full set.
+func (c *Cache) victim(set, base int64) int {
+	switch c.policy {
+	case LRU:
+		return c.lruVictim(base)
+	case PLRU:
+		return c.plruVictim(set)
+	case FIFO:
+		return c.fifoVictim(set, base)
+	default:
+		return c.randomVictim()
+	}
 }
 
-func (r *lruReplacer) touch(set int64, way int) {
-	r.clock++
-	r.stamps[set*int64(r.assoc)+int64(way)] = r.clock
+// lruTouch promotes way to the most-recent rank (assoc-1) and closes the
+// gap it left by decrementing every rank above its old one.
+func (c *Cache) lruTouch(base int64, way int) {
+	assoc := c.geom.Assoc
+	if assoc == 1 {
+		return
+	}
+	if c.wideRank != nil {
+		old := c.wideRank[base+int64(way)]
+		for w := 0; w < assoc; w++ {
+			if r := c.wideRank[base+int64(w)]; r > old {
+				c.wideRank[base+int64(w)] = r - 1
+			}
+		}
+		c.wideRank[base+int64(way)] = uint8(assoc - 1)
+		return
+	}
+	old := c.words[base+int64(way)].Rank()
+	for w := 0; w < assoc; w++ {
+		i := base + int64(w)
+		if r := c.words[i].Rank(); r > old {
+			c.words[i] = c.words[i].WithRank(r - 1)
+		}
+	}
+	i := base + int64(way)
+	c.words[i] = c.words[i].WithRank(uint8(assoc - 1))
 }
 
-func (r *lruReplacer) fill(set int64, way int) { r.touch(set, way) }
-
-func (r *lruReplacer) victim(set int64) int {
-	base := set * int64(r.assoc)
-	best, bestStamp := 0, r.stamps[base]
-	for w := 1; w < r.assoc; w++ {
-		if s := r.stamps[base+int64(w)]; s < bestStamp {
-			best, bestStamp = w, s
+// lruVictim returns the way with the lowest rank, ties to the lowest way
+// index (matching a min-use-stamp scan from way 0).
+func (c *Cache) lruVictim(base int64) int {
+	if c.wideRank != nil {
+		best, bestRank := 0, c.wideRank[base]
+		for w := 1; w < c.geom.Assoc; w++ {
+			if r := c.wideRank[base+int64(w)]; r < bestRank {
+				best, bestRank = w, r
+			}
+		}
+		return best
+	}
+	best, bestRank := 0, c.words[base].Rank()
+	for w := 1; w < c.geom.Assoc; w++ {
+		if r := c.words[base+int64(w)].Rank(); r < bestRank {
+			best, bestRank = w, r
 		}
 	}
 	return best
 }
 
-// plruReplacer implements tree pseudo-LRU. Each set keeps assoc-1 tree bits
-// in a byte slice; associativity must be a power of two (validated by the
-// cache constructor for PLRU).
-type plruReplacer struct {
-	assoc int
-	bits  []uint8 // assoc-1 bits per set, packed one per byte for simplicity
-}
-
-func newPLRU(sets int64, assoc int) *plruReplacer {
-	return &plruReplacer{assoc: assoc, bits: make([]uint8, sets*int64(assoc-1))}
-}
-
-// touch walks the tree toward way, pointing every node away from it.
-func (r *plruReplacer) touch(set int64, way int) {
-	base := set * int64(r.assoc-1)
-	node, lo, hi := 0, 0, r.assoc
+// plruTouch walks the tree toward way, pointing every node away from it.
+// Node n's bit lives at bit n&7 of byte n>>3 in the set's stride.
+func (c *Cache) plruTouch(set int64, way int) {
+	base := set * c.setStride
+	node, lo, hi := 0, 0, c.geom.Assoc
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
+		idx := base + int64(node>>3)
+		bit := uint8(1) << (node & 7)
 		if way < mid {
-			r.bits[base+int64(node)] = 1 // next victim search goes right
+			c.perSet[idx] |= bit // next victim search goes right
 			node = 2*node + 1
 			hi = mid
 		} else {
-			r.bits[base+int64(node)] = 0 // next victim search goes left
+			c.perSet[idx] &^= bit // next victim search goes left
 			node = 2*node + 2
 			lo = mid
 		}
 	}
 }
 
-func (r *plruReplacer) fill(set int64, way int) { r.touch(set, way) }
-
-// victim follows the tree bits: 0 means go left, 1 means go right.
-func (r *plruReplacer) victim(set int64) int {
-	base := set * int64(r.assoc-1)
-	node, lo, hi := 0, 0, r.assoc
+// plruVictim follows the tree bits: 0 means go left, 1 means go right.
+func (c *Cache) plruVictim(set int64) int {
+	base := set * c.setStride
+	node, lo, hi := 0, 0, c.geom.Assoc
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if r.bits[base+int64(node)] == 0 {
+		if c.perSet[base+int64(node>>3)]&(1<<(node&7)) == 0 {
 			node = 2*node + 1
 			hi = mid
 		} else {
@@ -146,48 +201,35 @@ func (r *plruReplacer) victim(set int64) int {
 	return lo
 }
 
-// fifoReplacer evicts ways in fill order, ignoring touches.
-type fifoReplacer struct {
-	assoc int
-	next  []uint8 // per-set next victim pointer (assoc <= 255)
-}
-
-func newFIFO(sets int64, assoc int) *fifoReplacer {
-	return &fifoReplacer{assoc: assoc, next: make([]uint8, sets)}
-}
-
-func (r *fifoReplacer) touch(int64, int) {}
-
-func (r *fifoReplacer) fill(set int64, way int) {
-	// Advance the pointer only when the fill consumed the victim slot;
-	// out-of-order fills (into invalid ways) do not disturb rotation.
-	if int(r.next[set]) == way {
-		r.next[set] = uint8((way + 1) % r.assoc)
+// fifoFill advances the rotation pointer only when the fill consumed the
+// victim slot; out-of-order fills (into invalid ways) do not disturb
+// rotation. The pointer lives in the way-0 word's rank field unless the
+// associativity is too wide for it.
+func (c *Cache) fifoFill(set, base int64, way int) {
+	if c.perSet != nil {
+		if int(c.perSet[set]) == way {
+			c.perSet[set] = uint8((way + 1) % c.geom.Assoc)
+		}
+		return
+	}
+	if w0 := c.words[base]; int(w0.Rank()) == way {
+		c.words[base] = w0.WithRank(uint8((way + 1) % c.geom.Assoc))
 	}
 }
 
-func (r *fifoReplacer) victim(set int64) int { return int(r.next[set]) }
+// fifoVictim returns the rotation pointer.
+func (c *Cache) fifoVictim(set, base int64) int {
+	if c.perSet != nil {
+		return int(c.perSet[set])
+	}
+	return int(c.words[base].Rank())
+}
 
-// randomReplacer picks victims with a xorshift64 generator so runs are
+// randomVictim picks a way with a xorshift64 generator so runs are
 // reproducible for a given seed.
-type randomReplacer struct {
-	assoc int
-	state uint64
-}
-
-func newRandom(assoc int, seed uint64) *randomReplacer {
-	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
-	}
-	return &randomReplacer{assoc: assoc, state: seed}
-}
-
-func (r *randomReplacer) touch(int64, int) {}
-func (r *randomReplacer) fill(int64, int)  {}
-
-func (r *randomReplacer) victim(int64) int {
-	r.state ^= r.state << 13
-	r.state ^= r.state >> 7
-	r.state ^= r.state << 17
-	return int(r.state % uint64(r.assoc))
+func (c *Cache) randomVictim() int {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return int(c.rng % uint64(c.geom.Assoc))
 }

@@ -25,7 +25,7 @@ func TestScrubRepairsSingleBitFlips(t *testing.T) {
 	// Flip one tag bit and one state bit in two occupied slots.
 	var hit []int64
 	for i := int64(0); i < c.SlotCount() && len(hit) < 2; i++ {
-		if c.state[i] != StateInvalid {
+		if c.words[i].State() != StateInvalid {
 			hit = append(hit, i)
 		}
 	}
@@ -53,7 +53,7 @@ func TestScrubInvalidatesDoubleBitFlips(t *testing.T) {
 	c.Fill(0x1000, 2)
 	var slot int64 = -1
 	for i := int64(0); i < c.SlotCount(); i++ {
-		if c.state[i] != StateInvalid {
+		if c.words[i].State() != StateInvalid {
 			slot = i
 			break
 		}

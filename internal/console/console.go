@@ -83,6 +83,8 @@ func (c *Console) Execute(line string) error {
 		return c.node(fields[1:])
 	case "occupancy":
 		return c.occupancy(fields[1:])
+	case "dirstat":
+		return c.dirstat(fields[1:])
 	case "profile":
 		return c.profile(fields[1:])
 	case "reprogram":
@@ -120,6 +122,8 @@ func (c *Console) help() {
   node <i>                      details of node i
   stats [prefix]                dump counters (optionally filtered)
   occupancy <i>                 directory occupancy of node i
+  dirstat [i]                   directory geometry and footprint (all nodes
+                                without an index); occupancy is O(1)
   profile <i>                   miss-ratio profile sparkline of node i
   reprogram <i> k=v ...         set cache parameters of node i
                                 (size, assoc, line, policy, group, cpus, protocol)
@@ -173,6 +177,38 @@ func (c *Console) occupancy(args []string) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(c.out, "  %s %d\n", name, bank.Value(name))
+	}
+	return nil
+}
+
+// dirstat prints each directory's geometry, packed-slot footprint, and
+// occupancy. The resident count comes from the directory's O(1) counter,
+// so dirstat stays cheap even on an 8 GB (64M-slot) directory.
+func (c *Console) dirstat(args []string) error {
+	first, last := 0, c.board.NumNodes()-1
+	if len(args) > 0 {
+		i, err := c.nodeIndex(args)
+		if err != nil {
+			return err
+		}
+		first, last = i, i
+	}
+	var totalBytes int64
+	for i := first; i <= last; i++ {
+		v := c.board.Node(i)
+		slots := c.board.DirectorySlots(i)
+		bytes := c.board.DirectoryBytes(i)
+		resident := c.board.DirectoryResident(i)
+		fmt.Fprintf(c.out, "node %d (%s): %s\n", i, v.Name, v.Geometry)
+		fmt.Fprintf(c.out, "  slots      %d\n", slots)
+		fmt.Fprintf(c.out, "  bytes/slot %.2f\n", float64(bytes)/float64(slots))
+		fmt.Fprintf(c.out, "  footprint  %s\n", addr.FormatSize(bytes))
+		fmt.Fprintf(c.out, "  resident   %d lines (%.1f%% occupancy)\n",
+			resident, 100*float64(resident)/float64(slots))
+		totalBytes += bytes
+	}
+	if first != last {
+		fmt.Fprintf(c.out, "total directory footprint %s\n", addr.FormatSize(totalBytes))
 	}
 	return nil
 }

@@ -286,3 +286,32 @@ func TestQuitStopsRun(t *testing.T) {
 		t.Fatalf("quit did not stop the loop: %d replies", got)
 	}
 }
+
+func TestDirstat(t *testing.T) {
+	b := testBoard(t)
+	feed(b, 200)
+	out := run(t, b, "dirstat", "dirstat 0")
+	if !strings.Contains(out, "bytes/slot") || !strings.Contains(out, "footprint") {
+		t.Fatalf("dirstat:\n%s", out)
+	}
+	if !strings.Contains(out, "occupancy") {
+		t.Fatalf("dirstat missing occupancy:\n%s", out)
+	}
+	// 64KB/128B/4-way LRU directory: 512 slots, exactly 8 bytes/slot.
+	if !strings.Contains(out, "slots      512") || !strings.Contains(out, "bytes/slot 8.00") {
+		t.Fatalf("dirstat geometry:\n%s", out)
+	}
+	// The O(1) resident count must agree with the scanning occupancy path.
+	if got, want := b.DirectoryResident(0), b.DirectoryOccupancy(0); got != want {
+		t.Fatalf("DirectoryResident %d != DirectoryOccupancy %d", got, want)
+	}
+	if err := run0(b, "dirstat 9"); err == nil {
+		t.Fatal("dirstat with a bad node index did not fail")
+	}
+}
+
+// run0 executes one command and returns its error (run fatals on error).
+func run0(b *core.Board, cmd string) error {
+	var out bytes.Buffer
+	return New(b, &out).Execute(cmd)
+}

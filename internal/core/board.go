@@ -539,6 +539,18 @@ func (b *Board) ScrubNow() (corrected, invalidated uint64) {
 // fault injectors pick corruption targets from [0, DirectorySlots).
 func (b *Board) DirectorySlots(i int) int64 { return b.nodes[i].dir.SlotCount() }
 
+// DirectoryBytes returns the backing-store footprint of node i's
+// directory in bytes: the packed tag words plus any replacement-policy
+// sidecars. This is the number compared against the board's 1 GB of
+// SDRAM when sizing emulated caches (paper §3.3).
+func (b *Board) DirectoryBytes(i int) int64 { return b.nodes[i].dir.DirectoryBytes() }
+
+// DirectoryResident returns the number of valid lines in node i's
+// directory in O(1) from the directory's resident-line counter. Unlike
+// DirectoryOccupancy it does not refresh the per-state occupancy
+// counters, which requires a full scan.
+func (b *Board) DirectoryResident(i int) int64 { return b.nodes[i].dir.ValidCount() }
+
 // CorruptDirectory XORs the given masks into slot `slot` of node i's
 // directory without updating its ECC byte — the model of an SDRAM soft
 // error striking the tag store. It reports whether the slot held a valid

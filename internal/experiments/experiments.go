@@ -113,6 +113,11 @@ type Preset struct {
 	Fig12Refs    uint64
 	SplashSeed   uint64
 
+	// BigMem gates the fully allocated big-memory corners (the 8 GB
+	// Table 2 directory: 64M packed slots, 512 MB resident). Off by
+	// default; set via Options.BigMem / cmd/experiments -bigmem.
+	BigMem bool
+
 	// Fault-injection experiment (not from the paper: it stresses the
 	// reliability claims §3.3 only asserts).
 	FaultsRefs        uint64    // workload references per run
@@ -256,6 +261,9 @@ type Options struct {
 	// Parallel bounds the number of sweep points run concurrently inside
 	// the experiment. 0 means GOMAXPROCS; 1 is the serial golden run.
 	Parallel int
+	// BigMem enables the fully allocated big-memory corners (table2's
+	// 8 GB directory run: ~512 MB RAM and tens of seconds).
+	BigMem bool
 }
 
 // Run regenerates one experiment at the given scale, serially — the
@@ -277,6 +285,7 @@ func RunWith(id string, scale Scale, opts Options) (*Result, error) {
 	if p.Parallel <= 0 {
 		p.Parallel = runtime.GOMAXPROCS(0)
 	}
+	p.BigMem = opts.BigMem
 	res, err := r.run(p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"memories/internal/addr"
 )
 
 func TestScaleParsing(t *testing.T) {
@@ -79,5 +81,17 @@ func TestAllExperimentsReproduceShapes(t *testing.T) {
 			}
 			t.Logf("\n%s", res.String())
 		})
+	}
+}
+
+// TestTable2FullFillSmall runs the -bigmem full-fill path at a small
+// size: every slot resident, inside the 9 B/slot budget, and reported.
+func TestTable2FullFillSmall(t *testing.T) {
+	note, err := runTable2FullFill(16 * addr.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note, "131072 slots resident") || !strings.Contains(note, "B/slot") {
+		t.Fatalf("unexpected bigmem note: %q", note)
 	}
 }

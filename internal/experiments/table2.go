@@ -17,7 +17,7 @@ import (
 // 16KB lines, 1 to 8 processors per shared cache node — it actually
 // constructs a board with that configuration and pushes traffic through
 // it. A range the implementation cannot emulate fails the experiment.
-func runTable2(_ Preset) (*Result, error) {
+func runTable2(p Preset) (*Result, error) {
 	t := stats.NewTable(
 		"TABLE 2. Summary of Cache Emulation Parameters",
 		"Feature", "Paper range", "Verified configurations")
@@ -77,11 +77,77 @@ func runTable2(_ Preset) (*Result, error) {
 	t.AddRow("Cache associativity", "direct mapped to 8-way", "1, 2, 4, 8 ways")
 	t.AddRow("Processors per shared cache node", "1 - 8", "1, 2, 4, 8")
 	t.AddRow("Cache line size", "128B - 16KB", "128B, 1KB, 16KB")
+	notes := []string{
+		fmt.Sprintf("%d corner configurations constructed and exercised end-to-end (hits, misses, evictions)", verified),
+	}
+	if p.BigMem {
+		note, err := runTable2BigMem()
+		if err != nil {
+			return nil, err
+		}
+		notes = append(notes, note)
+	} else {
+		notes = append(notes,
+			"the 8GB/128B corner above touches only a stride through its 64M tag entries; pass -bigmem for the fully allocated run")
+	}
 	return &Result{
 		Tables: []*stats.Table{t},
-		Notes: []string{
-			fmt.Sprintf("%d corner configurations constructed and exercised end-to-end (hits, misses, evictions)", verified),
-			"an 8GB directory at 128B lines allocates 64M tag entries — the test touches only a stride through it",
-		},
+		Notes:  notes,
 	}, nil
+}
+
+// runTable2BigMem promotes the paper's largest advertised configuration —
+// an 8 GB emulated cache with 128 B lines, the Table 2 corner that
+// motivates the single-SDRAM-word entry format (§3.3) — from a
+// stride-touch smoke test to a real run: every one of the 64M directory
+// slots is filled through the bus, so the packed tag store is fully
+// resident in memory, and the note reports the realized footprint. With
+// the packed layout (and ECC in-word) that is 8 bytes per slot — 512 MB,
+// comfortably inside the board's 1 GB SDRAM budget, where the old
+// parallel-array layout needed tags+state+ECC+stamps spread across
+// ~18 bytes per slot.
+func runTable2BigMem() (string, error) {
+	return runTable2FullFill(8 * addr.GB)
+}
+
+// runTable2FullFill fills every directory slot of a size/128B/1-way
+// board through the bus and checks residency and the per-slot budget.
+// Split out from runTable2BigMem so tests can run it at a small size.
+func runTable2FullFill(size int64) (string, error) {
+	g, err := addr.NewGeometry(size, 128, 1)
+	if err != nil {
+		return "", fmt.Errorf("table2 bigmem: %v", err)
+	}
+	b, err := core.NewBoard(core.Config{
+		Nodes: []core.NodeConfig{{
+			Name:     "big",
+			CPUs:     []int{0},
+			Geometry: g,
+			Policy:   cache.LRU,
+			Protocol: coherence.MESI(),
+		}},
+		ECC: true,
+	})
+	if err != nil {
+		return "", fmt.Errorf("table2 bigmem: board rejected: %v", err)
+	}
+	lines := g.Lines()
+	cycle := uint64(0)
+	for i := int64(0); i < lines; i++ {
+		cycle += 24
+		b.Snoop(&bus.Transaction{Cmd: bus.Read, Addr: uint64(i) * 128, Size: 128, SrcID: 0, Cycle: cycle})
+	}
+	b.Flush()
+	resident := b.DirectoryResident(0) // O(1): no 64M-slot scan
+	if resident != lines {
+		return "", fmt.Errorf("table2 bigmem: %d of %d slots resident after full fill", resident, lines)
+	}
+	bytes := b.DirectoryBytes(0)
+	perSlot := float64(bytes) / float64(lines)
+	if perSlot > 9 {
+		return "", fmt.Errorf("table2 bigmem: %.2f bytes/slot exceeds the 9 B/slot budget", perSlot)
+	}
+	return fmt.Sprintf(
+		"bigmem: %s/128B corner fully allocated — %d slots resident, %s directory footprint (%.2f B/slot with in-word ECC)",
+		addr.FormatSize(size), lines, addr.FormatSize(bytes), perSlot), nil
 }

@@ -34,6 +34,7 @@ import (
 
 	"memories/internal/bus"
 	"memories/internal/core"
+	"memories/internal/sdram"
 	"memories/internal/simbase"
 	"memories/internal/stats"
 	"memories/internal/tracefile"
@@ -59,7 +60,8 @@ type Config struct {
 	// board's buffer depth plus a margin, guaranteeing overflow.
 	BurstLen int
 	// BitFlipProb is the probability a random tag-store bit (one of the
-	// 72 payload bits of a random slot of a random node) is flipped.
+	// packed word's sdram.WordPayloadBits tag/state bits of a random slot
+	// of a random node) is flipped.
 	BitFlipProb float64
 	// StallProb is the probability the node controllers' SDRAM channels
 	// are stalled for StallCycles.
@@ -223,20 +225,22 @@ func (inj *Injector) ObserveResponse(tx *bus.Transaction, combined bus.SnoopResp
 	inj.lastForwarded = false
 }
 
-// flipRandomBit corrupts one uniformly random payload bit (64 tag bits +
-// 8 state bits) of a random slot in a random node directory, bypassing
-// the ECC sidecar exactly as an SDRAM soft error would.
+// flipRandomBit corrupts one uniformly random payload bit (the packed
+// word's tag and state fields; the rank bits carry no protected data and
+// the check byte is attacked through double flips elsewhere) of a random
+// slot in a random node directory, bypassing the in-word check byte
+// exactly as an SDRAM soft error would.
 func (inj *Injector) flipRandomBit() {
 	nodeIdx := int(inj.rng.Intn(int64(inj.board.NumNodes())))
 	slots := inj.board.DirectorySlots(nodeIdx)
 	slot := inj.rng.Intn(slots)
-	bit := inj.rng.Intn(72)
+	bit := inj.rng.Intn(sdram.WordPayloadBits)
 	var tagXor uint64
 	var stateXor uint8
-	if bit < 64 {
+	if bit < sdram.WordTagBits {
 		tagXor = 1 << uint(bit)
 	} else {
-		stateXor = 1 << uint(bit-64)
+		stateXor = 1 << uint(bit-sdram.WordTagBits)
 	}
 	inj.cBitFlips.Inc()
 	if inj.board.CorruptDirectory(nodeIdx, slot, tagXor, stateXor) {

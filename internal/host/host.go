@@ -484,6 +484,23 @@ func (c *cpu) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 	}
 }
 
+// CacheFootprint returns the total backing-store bytes of the host's
+// private cache hierarchy (every CPU's L1 and coherence-point cache),
+// from the packed tag-word layout. The host caches model real hardware
+// rather than board SDRAM, but the same single-word-per-slot encoding
+// keeps the full-machine emulation footprint proportional to tags, not
+// data.
+func (h *Host) CacheFootprint() int64 {
+	var total int64
+	for _, c := range h.cpus {
+		if c.l1 != nil {
+			total += c.l1.DirectoryBytes()
+		}
+		total += c.coh.DirectoryBytes()
+	}
+	return total
+}
+
 // CheckInclusion verifies L1 ⊆ L2 for every CPU; tests call it after
 // random workloads. It returns the first violating address, if any.
 func (h *Host) CheckInclusion() (uint64, bool) {

@@ -304,3 +304,23 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		t.Fatal("accepted invalid L2 geometry")
 	}
 }
+
+// TestCacheFootprintIsPackedWordPerSlot pins the host-side cost of the
+// packed directory layout: LRU caches carry no sidecars, so the modeled
+// SMP's L1+L2 tag storage is exactly one 8-byte word per slot.
+func TestCacheFootprintIsPackedWordPerSlot(t *testing.T) {
+	h := MustNew(testConfig(), &scriptGen{})
+	var slots int64
+	for _, c := range h.cpus {
+		if c.l1 != nil {
+			slots += c.l1.SlotCount()
+		}
+		slots += c.coh.SlotCount()
+	}
+	if slots == 0 {
+		t.Fatal("host built no cache slots")
+	}
+	if got := h.CacheFootprint(); got != 8*slots {
+		t.Fatalf("CacheFootprint = %d, want %d (8 B x %d slots)", got, 8*slots, slots)
+	}
+}

@@ -191,3 +191,20 @@ func TestDirectoryStateEncoding(t *testing.T) {
 		t.Fatal("present entry encodes as invalid")
 	}
 }
+
+// TestDirectoryBytesIsPackedWordPerSlot pins the NUMA node footprint:
+// with LRU everywhere, L3 + sparse directory + remote cache cost
+// exactly one 8-byte packed word per slot.
+func TestDirectoryBytesIsPackedWordPerSlot(t *testing.T) {
+	e, err := New(mkConfig(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		n := e.nodes[i]
+		slots := n.l3.SlotCount() + n.dir.SlotCount() + n.remote.SlotCount()
+		if got := e.DirectoryBytes(i); got != 8*slots {
+			t.Fatalf("node %d DirectoryBytes = %d, want %d (8 B x %d slots)", i, got, 8*slots, slots)
+		}
+	}
+}

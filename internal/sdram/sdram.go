@@ -55,6 +55,7 @@ type Stats struct {
 // horizon. Not safe for concurrent use.
 type TagStore struct {
 	cfg         Config
+	bankMask    int64    // Banks-1 when Banks is a power of two, else -1
 	channelFree uint64   // earliest cycle the channel can start a new op
 	bankFree    []uint64 // earliest cycle each bank can start a new op
 	stats       Stats
@@ -66,7 +67,11 @@ func New(cfg Config) *TagStore {
 	if cfg.Banks <= 0 || cfg.ChannelGap == 0 || cfg.BankBusy == 0 {
 		panic("sdram: invalid configuration")
 	}
-	return &TagStore{cfg: cfg, bankFree: make([]uint64, cfg.Banks)}
+	mask := int64(cfg.Banks - 1)
+	if cfg.Banks&(cfg.Banks-1) != 0 {
+		mask = -1
+	}
+	return &TagStore{cfg: cfg, bankMask: mask, bankFree: make([]uint64, cfg.Banks)}
 }
 
 // Config returns the timing configuration.
@@ -100,9 +105,11 @@ func (t *TagStore) Stall(now, cycles uint64) {
 // returns the cycle at which it completes. Operations are serviced in call
 // order (the node controller drains its transaction buffer FIFO).
 func (t *TagStore) Schedule(now uint64, set int64) (done uint64) {
-	bank := int(set) & (t.cfg.Banks - 1)
-	if t.cfg.Banks&(t.cfg.Banks-1) != 0 {
-		bank = int(set % int64(t.cfg.Banks))
+	var bank int64
+	if t.bankMask >= 0 {
+		bank = set & t.bankMask
+	} else {
+		bank = set % int64(t.cfg.Banks)
 	}
 	start := now
 	if t.channelFree > start {

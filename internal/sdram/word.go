@@ -1,0 +1,123 @@
+package sdram
+
+// Packed directory words.
+//
+// The board stores each emulated line's Tag, State, and LRU information
+// in a single SDRAM word (paper §3, §3.3) — that packing is how 8 GB of
+// emulated cache fits in 1 GB of SDRAM. Word mirrors that entry format
+// in software: one uint64 per slot holding the tag, the coherence state,
+// the replacement rank, and the SECDED check byte, so a directory probe
+// touches exactly one machine word instead of three or four parallel
+// arrays.
+//
+//	 63            15 14   11 10    8 7        0
+//	┌────────────────┬───────┬───────┬──────────┐
+//	│   tag (49b)    │ state │ rank  │  check   │
+//	└────────────────┴───────┴───────┴──────────┘
+//
+// The check byte protects tag and state (the payload) with the same
+// SECDED code as EncodeECC/CheckECC: the 49-bit tag occupies payload
+// bits 0–48 and the 4-bit state payload bits 64–67, so syndrome
+// positions — and therefore correction behavior — are identical to the
+// unpacked (tag64, state8) layout for every representable bit. The rank
+// bits hold replacement metadata (LRU recency rank or the FIFO rotation
+// pointer) and are not ECC-protected, matching the unpacked layout where
+// replacer state lived outside the protected entry.
+type Word uint64
+
+const (
+	// WordCheckBits is the width of the SECDED check byte (bits 0–7).
+	WordCheckBits = 8
+	// WordRankBits is the width of the replacement-rank field (bits 8–10).
+	WordRankBits = 3
+	// WordStateBits is the width of the coherence-state field (bits 11–14).
+	WordStateBits = 4
+	// WordTagBits is the width of the tag field (bits 15–63). With 128 B
+	// lines and direct mapping this addresses 2^56 bytes of physical
+	// memory — far beyond the paper's machines.
+	WordTagBits = 49
+
+	// WordRankShift, WordStateShift, and WordTagShift position each field.
+	WordRankShift  = WordCheckBits
+	WordStateShift = WordRankShift + WordRankBits
+	WordTagShift   = WordStateShift + WordStateBits
+
+	// WordCheckMask, WordRankMask, WordStateMask, and WordTagMask are the
+	// in-place (unshifted) field masks.
+	WordCheckMask = 1<<WordCheckBits - 1
+	WordRankMask  = 1<<WordRankBits - 1
+	WordStateMask = 1<<WordStateBits - 1
+	WordTagMask   = 1<<WordTagBits - 1
+
+	// WordPayloadBits is the ECC-protected payload width: tag plus state.
+	// Fault injectors draw bit positions from this domain (bit < WordTagBits
+	// flips a tag bit, otherwise a state bit).
+	WordPayloadBits = WordTagBits + WordStateBits
+
+	// WordRankMax is the largest replacement rank the in-word field holds;
+	// caches with more ways than this keep ranks in a side array.
+	WordRankMax = WordRankMask
+)
+
+// PackWord assembles a directory word from its fields. Arguments wider
+// than their fields are masked.
+func PackWord(tag uint64, state, rank, check uint8) Word {
+	return Word(tag&WordTagMask)<<WordTagShift |
+		Word(state&WordStateMask)<<WordStateShift |
+		Word(rank&WordRankMask)<<WordRankShift |
+		Word(check)
+}
+
+// Tag returns the stored tag.
+func (w Word) Tag() uint64 { return uint64(w) >> WordTagShift }
+
+// State returns the stored coherence state.
+func (w Word) State() uint8 { return uint8(w>>WordStateShift) & WordStateMask }
+
+// Rank returns the stored replacement rank.
+func (w Word) Rank() uint8 { return uint8(w>>WordRankShift) & WordRankMask }
+
+// Check returns the stored SECDED check byte.
+func (w Word) Check() uint8 { return uint8(w) }
+
+// WithState returns w with the state field replaced.
+func (w Word) WithState(s uint8) Word {
+	return w&^(WordStateMask<<WordStateShift) | Word(s&WordStateMask)<<WordStateShift
+}
+
+// WithRank returns w with the rank field replaced.
+func (w Word) WithRank(r uint8) Word {
+	return w&^(WordRankMask<<WordRankShift) | Word(r&WordRankMask)<<WordRankShift
+}
+
+// WithCheck returns w with the check byte replaced.
+func (w Word) WithCheck(c uint8) Word { return w&^WordCheckMask | Word(c) }
+
+// EncodeWordECC returns w with its check byte refreshed from the current
+// tag and state. An all-zero word is self-consistent (EncodeECC(0,0) == 0),
+// so a freshly zeroed directory needs no initialization pass.
+func EncodeWordECC(w Word) Word {
+	return w.WithCheck(EncodeECC(w.Tag(), w.State()))
+}
+
+// CheckWordECC verifies a packed word against its in-word check byte. On
+// a single-bit payload or check-bit error it returns the corrected word
+// (check byte re-encoded, rank preserved) with ECCCorrected; on a
+// multi-bit error it returns w unchanged with ECCUncorrectable. A
+// "correction" that lands outside the tag or state field — only possible
+// when three or more flips alias to a valid syndrome — is demoted to
+// ECCUncorrectable rather than silently widening a field.
+func CheckWordECC(w Word) (Word, ECCResult) {
+	tag, state, res := CheckECC(w.Tag(), w.State(), w.Check())
+	switch res {
+	case ECCOK:
+		return w, ECCOK
+	case ECCCorrected:
+		if tag > WordTagMask || state > WordStateMask {
+			return w, ECCUncorrectable
+		}
+		return PackWord(tag, state, w.Rank(), EncodeECC(tag, state)), ECCCorrected
+	default:
+		return w, ECCUncorrectable
+	}
+}

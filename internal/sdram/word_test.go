@@ -1,0 +1,162 @@
+package sdram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWordPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		tag := rng.Uint64() & WordTagMask
+		state := uint8(rng.Intn(1 << WordStateBits))
+		rank := uint8(rng.Intn(1 << WordRankBits))
+		check := uint8(rng.Intn(1 << WordCheckBits))
+		w := PackWord(tag, state, rank, check)
+		if w.Tag() != tag || w.State() != state || w.Rank() != rank || w.Check() != check {
+			t.Fatalf("round trip: packed (%#x,%d,%d,%#x) got (%#x,%d,%d,%#x)",
+				tag, state, rank, check, w.Tag(), w.State(), w.Rank(), w.Check())
+		}
+	}
+}
+
+func TestWordFieldSettersIsolate(t *testing.T) {
+	w := PackWord(0x1ffff_ffff_ffff, 0xf, 0x7, 0xff) // all fields saturated
+	if got := w.WithState(3); got.State() != 3 || got.Tag() != w.Tag() || got.Rank() != w.Rank() || got.Check() != w.Check() {
+		t.Fatalf("WithState disturbed other fields: %#x", uint64(got))
+	}
+	if got := w.WithRank(2); got.Rank() != 2 || got.Tag() != w.Tag() || got.State() != w.State() || got.Check() != w.Check() {
+		t.Fatalf("WithRank disturbed other fields: %#x", uint64(got))
+	}
+	if got := w.WithCheck(0x55); got.Check() != 0x55 || got.Tag() != w.Tag() || got.State() != w.State() || got.Rank() != w.Rank() {
+		t.Fatalf("WithCheck disturbed other fields: %#x", uint64(got))
+	}
+}
+
+func TestWordLayoutCoversUint64(t *testing.T) {
+	if WordCheckBits+WordRankBits+WordStateBits+WordTagBits != 64 {
+		t.Fatalf("field widths sum to %d, want 64",
+			WordCheckBits+WordRankBits+WordStateBits+WordTagBits)
+	}
+	if WordPayloadBits != WordTagBits+WordStateBits {
+		t.Fatal("WordPayloadBits out of sync with field widths")
+	}
+}
+
+func TestZeroWordIsSelfConsistent(t *testing.T) {
+	// EncodeECC(0,0) == 0, so an all-zero word is a valid invalid entry:
+	// fresh directories need no ECC initialization pass.
+	if EncodeWordECC(0) != 0 {
+		t.Fatalf("EncodeWordECC(0) = %#x, want 0", uint64(EncodeWordECC(0)))
+	}
+	if w, res := CheckWordECC(0); res != ECCOK || w != 0 {
+		t.Fatalf("CheckWordECC(0) = %#x, %v; want 0, ECCOK", uint64(w), res)
+	}
+}
+
+// TestWordECCMatchesUnpacked proves the in-word check byte is the same
+// SECDED code the unpacked (tag64, state8) layout used, for every
+// representable tag/state value: same encoding, and the same correction
+// on any single payload-bit flip.
+func TestWordECCMatchesUnpacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		tag := rng.Uint64() & WordTagMask
+		state := uint8(rng.Intn(1 << WordStateBits))
+		if EncodeECC(tag, state) != EncodeWordECC(PackWord(tag, state, 0, 0)).Check() {
+			t.Fatalf("check byte differs for tag %#x state %d", tag, state)
+		}
+		w := EncodeWordECC(PackWord(tag, state, uint8(rng.Intn(8)), 0))
+		bit := rng.Intn(WordPayloadBits)
+		var corrupted Word
+		if bit < WordTagBits {
+			corrupted = PackWord(tag^1<<bit, state, w.Rank(), w.Check())
+		} else {
+			corrupted = PackWord(tag, state^1<<(bit-WordTagBits), w.Rank(), w.Check())
+		}
+		fixed, res := CheckWordECC(corrupted)
+		if res != ECCCorrected {
+			t.Fatalf("payload bit %d flip: result %v, want ECCCorrected", bit, res)
+		}
+		if fixed != w {
+			t.Fatalf("payload bit %d flip: corrected to %#x, want %#x", bit, uint64(fixed), uint64(w))
+		}
+	}
+}
+
+func TestWordECCCheckBitFlipHeals(t *testing.T) {
+	w := EncodeWordECC(PackWord(0xdeadbeef, 3, 5, 0))
+	for bit := 0; bit < WordCheckBits; bit++ {
+		corrupted := w ^ 1<<bit
+		fixed, res := CheckWordECC(corrupted)
+		if res != ECCCorrected || fixed != w {
+			t.Fatalf("check bit %d flip: got %#x/%v, want %#x/ECCCorrected",
+				bit, uint64(fixed), res, uint64(w))
+		}
+	}
+}
+
+func TestWordECCDoubleFlipUncorrectable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		tag := rng.Uint64() & WordTagMask
+		state := uint8(rng.Intn(1 << WordStateBits))
+		w := EncodeWordECC(PackWord(tag, state, 0, 0))
+		b1 := rng.Intn(WordPayloadBits)
+		b2 := rng.Intn(WordPayloadBits)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := w
+		for _, b := range []int{b1, b2} {
+			if b < WordTagBits {
+				corrupted ^= 1 << (WordTagShift + b)
+			} else {
+				corrupted ^= 1 << (WordStateShift + b - WordTagBits)
+			}
+		}
+		if _, res := CheckWordECC(corrupted); res != ECCUncorrectable {
+			t.Fatalf("double flip %d,%d: result %v, want ECCUncorrectable", b1, b2, res)
+		}
+	}
+}
+
+func TestWordECCIgnoresRank(t *testing.T) {
+	// Rank bits carry replacement metadata and are outside the protected
+	// payload — touching them must not require an ECC re-encode.
+	w := EncodeWordECC(PackWord(0x1234, 2, 0, 0))
+	for r := uint8(0); r <= WordRankMax; r++ {
+		if got, res := CheckWordECC(w.WithRank(r)); res != ECCOK || got != w.WithRank(r) {
+			t.Fatalf("rank %d: got %v", r, res)
+		}
+	}
+}
+
+func TestNonPow2BankSelectionModulo(t *testing.T) {
+	// Regression for the bank-selection fix: with a non-power-of-two bank
+	// count the set must map by modulo, so sets 0 and 3 share bank 0 (and
+	// conflict), while set 1 lands on its own bank (channel-limited only).
+	ts := New(Config{Banks: 3, ChannelGap: 5, BankBusy: 20})
+	ts.Schedule(0, 0) // bank 0 busy until 20
+	if done := ts.Schedule(0, 3); done != 40 {
+		t.Fatalf("set 3 on banks=3: done = %d, want 40 (bank 0 conflict)", done)
+	}
+	if ts.Stats().BankConflicts != 1 {
+		t.Fatalf("BankConflicts = %d, want 1", ts.Stats().BankConflicts)
+	}
+	ts2 := New(Config{Banks: 3, ChannelGap: 5, BankBusy: 20})
+	ts2.Schedule(0, 0)
+	if done := ts2.Schedule(0, 1); done != 25 {
+		t.Fatalf("set 1 on banks=3: done = %d, want 25 (channel gap only)", done)
+	}
+	if ts2.Stats().BankConflicts != 0 {
+		t.Fatalf("BankConflicts = %d, want 0", ts2.Stats().BankConflicts)
+	}
+	// Power-of-two path unchanged: set 17 on 16 banks maps to bank 1.
+	ts3 := New(DefaultConfig())
+	ts3.Schedule(0, 1)
+	ts3.Schedule(0, 17)
+	if ts3.Stats().BankConflicts != 1 {
+		t.Fatalf("pow2 mask path: BankConflicts = %d, want 1", ts3.Stats().BankConflicts)
+	}
+}
