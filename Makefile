@@ -16,6 +16,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The fast inner loop: heavy sweeps (cache equivalence 40k-op streams,
+# full-experiment determinism and golden runs) shrink or skip.
+.PHONY: test-short
+test-short:
+	$(GO) test -short ./...
+
 # The race detector is mandatory before merging: the board, injector,
 # and shadow simulator all share counter banks.
 .PHONY: race
@@ -27,7 +33,7 @@ race:
 # to actually explore.
 .PHONY: fuzz-seeds
 fuzz-seeds:
-	$(GO) test ./internal/cache/ ./internal/coherence/ ./internal/tracefile/ -run 'Fuzz.*'
+	$(GO) test ./internal/cache/ ./internal/coherence/ ./internal/tracefile/ ./internal/obs/ ./internal/console/ -run 'Fuzz.*'
 
 FUZZTIME ?= 2m
 .PHONY: fuzz-long
@@ -35,6 +41,8 @@ fuzz-long:
 	$(GO) test ./internal/cache/ -run FuzzPackedSlot -fuzz FuzzPackedSlot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/coherence/ -run FuzzParseMapFile -fuzz FuzzParseMapFile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tracefile/ -run FuzzRoundTripV2 -fuzz FuzzRoundTripV2 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/ -run FuzzPromText -fuzz FuzzPromText -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/console/ -run FuzzConsoleCommand -fuzz FuzzConsoleCommand -fuzztime $(FUZZTIME)
 
 # The fault-injection acceptance sweep at CI scale (~seconds), run
 # serially (-parallel 1) so the output is the deterministic golden run.
@@ -68,11 +76,12 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -cpu 1 -benchmem . | tee ci/bench-baseline.txt
 
 # Compare bench.txt against the committed baseline: >10% median ns/op,
-# B/op, or allocs/op regression on a Table3/Fig8 kernel fails (a
+# B/op, or allocs/op regression on a Table3/Fig8/Obs kernel fails (a
 # zero-alloc baseline that starts allocating fails at any threshold).
+# ObsOverhead keeps the observability tax on the snoop kernel gated.
 .PHONY: bench-check
 bench-check:
-	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8' -threshold 0.10 -gate 'B/op,allocs/op'
+	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs' -threshold 0.10 -gate 'B/op,allocs/op'
 
 # The trace-pipeline throughput gate: the v2 parallel reader must beat
 # the v1 per-record reader's ns/rec by 2x. Needs real cores — on a

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"memories/internal/coherence"
 	"memories/internal/core"
 	"memories/internal/host"
+	"memories/internal/obs"
 	"memories/internal/sdram"
 	"memories/internal/simbase"
 	"memories/internal/tracefile"
@@ -70,6 +72,46 @@ func BenchmarkTable3BoardSnoop(b *testing.B) {
 	}
 	board.Flush()
 	b.ReportMetric(board.Node(0).MissRatio(), "missratio")
+}
+
+// --- ISSUE 5: observability overhead on the Table 3 snoop kernel ---
+
+// BenchmarkObsOverhead measures the live-observability tax on the exact
+// Table3BoardSnoop kernel: detached (no registry), attached with
+// tracing off (the steady state the ≤2% budget applies to), and
+// attached with tracing on (ring writes included). All three must stay
+// zero-allocation; detached vs attached-off is the gated delta.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, attach, traceOn bool) {
+		board := core.MustNewBoard(SingleL3Board(64*MB, 4, 128))
+		if attach {
+			reg := obs.NewRegistry()
+			hub := obs.NewTraceHub(io.Discard)
+			if err := board.Observe(reg, hub, "bench", 1<<14); err != nil {
+				b.Fatal(err)
+			}
+			if traceOn {
+				board.Tracer().Enable(obs.Filter{})
+			}
+		}
+		gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 1 * addr.GB, WriteFraction: 0.3, Seed: 7})
+		cycle := uint64(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ref, _ := gen.Next()
+			cmd := bus.Read
+			if ref.Write {
+				cmd = bus.RWITM
+			}
+			cycle += 48
+			board.Snoop(&bus.Transaction{Cmd: cmd, Addr: ref.Addr, Size: 128, SrcID: ref.CPU, Cycle: cycle})
+		}
+		board.Flush()
+		b.ReportMetric(board.Node(0).MissRatio(), "missratio")
+	}
+	b.Run("detached", func(b *testing.B) { run(b, false, false) })
+	b.Run("attached-trace-off", func(b *testing.B) { run(b, true, false) })
+	b.Run("attached-trace-on", func(b *testing.B) { run(b, true, true) })
 }
 
 // --- Table 2 bigmem corner: the paper's largest advertised config ---

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"memories"
 )
@@ -30,6 +31,8 @@ func main() {
 		l3       = flag.String("l3", "64MB", "initial emulated cache size")
 		assoc    = flag.Int("assoc", 8, "initial associativity")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		obsAddr  = flag.String("obs", "", "serve live metrics on this address (e.g. :9090) and enable the metrics/watch/trace-on console commands")
+		obsIv    = flag.Duration("obs-interval", time.Second, "sampler and trace-drain interval for -obs")
 	)
 	flag.Parse()
 
@@ -61,6 +64,14 @@ func main() {
 	s, err := memories.NewSession(memories.DefaultHostConfig(), bcfg, gen)
 	if err != nil {
 		fatal(err)
+	}
+	if *obsAddr != "" {
+		h, err := s.EnableObs(*obsAddr, *obsIv, nil, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		fmt.Printf("obs: serving /metrics on %s\n", h.Server.Addr())
 	}
 	c := s.Console(os.Stdout)
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"memories/internal/experiments"
+	"memories/internal/obs"
 	"memories/internal/prof"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker bound, both across experiments and across sweep points within one; 1 is the serial golden run (bit-identical results at any setting)")
 		bigmem   = flag.Bool("bigmem", false, "run the fully allocated big-memory corners (table2's 8 GB directory: ~512 MB RAM, tens of seconds)")
+		obsAddr  = flag.String("obs", "", "serve live metrics on this address (e.g. :9090) while experiments run")
+		obsIv    = flag.Duration("obs-interval", time.Second, "sampler interval for -obs/-obs-jsonl")
+		obsJSONL = flag.String("obs-jsonl", "", "append JSON-lines metric snapshots to this file (requires -obs or standalone)")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -71,6 +75,33 @@ func main() {
 	}
 	defer stopProf()
 
+	// Live observability: one registry spans every experiment in the run
+	// (each gets its own "<id>.*" scope); a sampler snapshots it
+	// periodically and an HTTP endpoint serves scrapes on demand.
+	var reg *obs.Registry
+	if *obsAddr != "" || *obsJSONL != "" {
+		reg = obs.NewRegistry()
+		sampler := &obs.Sampler{Reg: reg, Interval: *obsIv}
+		if *obsJSONL != "" {
+			jsonl, err := os.Create(*obsJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			defer jsonl.Close()
+			sampler.JSONL = jsonl
+		}
+		sampler.Start()
+		defer sampler.Stop()
+		if *obsAddr != "" {
+			srv, err := obs.Serve(*obsAddr, reg)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "obs: serving /metrics on %s\n", srv.Addr())
+		}
+	}
+
 	// Run experiments concurrently (each independent, internally
 	// parallel up to the same bound), bounded by a semaphore; report in
 	// stable order. Every sweep point builds its own board, host, and
@@ -85,7 +116,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem})
+			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem, Obs: reg})
 			results[i] = outcome{id: id, res: res, err: err, elapsed: time.Since(start)}
 		}(i, id)
 	}

@@ -23,6 +23,7 @@ import (
 	"memories/internal/cache"
 	"memories/internal/coherence"
 	"memories/internal/core"
+	"memories/internal/obs"
 	"memories/internal/prof"
 	"memories/internal/simbase"
 	"memories/internal/tracefile"
@@ -35,6 +36,7 @@ func main() {
 		line    = flag.Int64("line", 128, "line size in bytes")
 		ncpu    = flag.Int("cpus", 8, "host CPUs covered by the trace")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "decode workers for v2 traces")
+		obsAddr = flag.String("obs", "", "serve live replay metrics on this address (e.g. :9090)")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -75,9 +77,28 @@ func main() {
 		fatal(err)
 	}
 
+	// Live observability: the simulator keeps plain struct counters, so
+	// the replay loop mirrors them into atomic registry counters after
+	// each batch (the batch apply is single-threaded; only the decode
+	// fan-out is parallel).
+	var watch *replayWatch
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics on %s\n", srv.Addr())
+		watch = newReplayWatch(reg)
+	}
+
 	start := time.Now()
 	n, err := tracefile.ForEachBatch(f, *workers, func(recs []tracefile.Record) error {
 		sim.ProcessBatch(recs)
+		if watch != nil {
+			watch.update(uint64(len(recs)), sim)
+		}
 		return nil
 	})
 	if err != nil {
@@ -98,6 +119,41 @@ func main() {
 		float64(n)/elapsed.Seconds()/1e6)
 	board := core.PaperRealTimeModel().Duration(n)
 	fmt.Printf("MemorIES would have processed this trace in %v (real-time model, §4.1)\n", board)
+}
+
+// replayWatch mirrors the simulator's plain counters into a registry so
+// /metrics scrapes see the replay progress without touching the sim from
+// another goroutine.
+type replayWatch struct {
+	records, filtered   *obs.Counter
+	readHit, readMiss   *obs.Counter
+	writeHit, writeMiss *obs.Counter
+	castouts, evictions *obs.Counter
+}
+
+func newReplayWatch(reg *obs.Registry) *replayWatch {
+	return &replayWatch{
+		records:   reg.Counter("tracesim.records"),
+		filtered:  reg.Counter("tracesim.filtered"),
+		readHit:   reg.Counter("tracesim.read.hit"),
+		readMiss:  reg.Counter("tracesim.read.miss"),
+		writeHit:  reg.Counter("tracesim.write.hit"),
+		writeMiss: reg.Counter("tracesim.write.miss"),
+		castouts:  reg.Counter("tracesim.castouts"),
+		evictions: reg.Counter("tracesim.evictions"),
+	}
+}
+
+func (w *replayWatch) update(batch uint64, sim *simbase.TraceSim) {
+	w.records.Add(batch)
+	w.filtered.Store(uint64(sim.Filtered))
+	st := sim.NodeStats(0)
+	w.readHit.Store(st.ReadHit)
+	w.readMiss.Store(st.ReadMiss)
+	w.writeHit.Store(st.WriteHit)
+	w.writeMiss.Store(st.WriteMiss)
+	w.castouts.Store(st.Castouts)
+	w.evictions.Store(st.Evictions)
 }
 
 func fatal(err error) {

@@ -21,12 +21,18 @@ import (
 // SECDED codes may mis-correct differently (both are wrong; they are
 // allowed to be differently wrong).
 func TestPackedMatchesLegacy(t *testing.T) {
+	// 32 configs x 40k ops dominates this package's runtime; -short keeps
+	// the full config matrix but trims each stream to a smoke depth.
+	ops := 40000
+	if testing.Short() {
+		ops = 5000
+	}
 	for _, p := range []Policy{LRU, PLRU, FIFO, Random} {
 		for _, assoc := range []int{1, 2, 4, 8} {
 			for _, ecc := range []bool{false, true} {
 				p, assoc, ecc := p, assoc, ecc
 				t.Run(fmt.Sprintf("%v/assoc%d/ecc%v", p, assoc, ecc), func(t *testing.T) {
-					runEquivalence(t, p, assoc, ecc, 40000, int64(1+assoc)<<8|int64(p))
+					runEquivalence(t, p, assoc, ecc, ops, int64(1+assoc)<<8|int64(p))
 				})
 			}
 		}
@@ -167,10 +173,14 @@ func runEquivalence(t *testing.T, p Policy, assoc int, ecc bool, ops int, seed i
 // associativities wider than the in-word rank field (not reachable with
 // the board's 1/2/4/8 ways, but allowed by the geometry).
 func TestPackedMatchesLegacyWideAssoc(t *testing.T) {
+	ops := 20000
+	if testing.Short() {
+		ops = 4000
+	}
 	for _, p := range []Policy{LRU, PLRU, FIFO, Random} {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
-			runEquivalence(t, p, 16, true, 20000, int64(p)+777)
+			runEquivalence(t, p, 16, true, ops, int64(p)+777)
 		})
 	}
 }

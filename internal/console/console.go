@@ -30,6 +30,9 @@ type Console struct {
 	// pendingMap accumulates a multi-line "loadmap" protocol definition.
 	pendingMap  []string
 	pendingNode int
+	// obs binds the live-observability commands (metrics, watch,
+	// trace on/off); nil until SetObs.
+	obs *obsBinding
 }
 
 // New creates a console for the given board, writing replies to out.
@@ -104,7 +107,19 @@ func (c *Console) Execute(line string) error {
 		corrected, invalidated := c.board.ScrubNow()
 		fmt.Fprintf(c.out, "scrub: %d corrected, %d invalidated\n", corrected, invalidated)
 		return nil
+	case "metrics":
+		return c.metrics(fields[1:])
+	case "watch":
+		return c.watch(fields[1:])
 	case "trace":
+		// "on"/"off"/"status" control the snoop event tracer; everything
+		// else is the bulk trace-capture memory.
+		if len(fields) > 1 {
+			switch fields[1] {
+			case "on", "off", "status":
+				return c.snoopTrace(fields[1:])
+			}
+		}
 		return c.trace(fields[1:])
 	case "version":
 		fmt.Fprintln(c.out, "MemorIES console, board revision 1 (software emulation)")
@@ -131,9 +146,14 @@ func (c *Console) help() {
   loadmap <i>                   load a protocol map file; end with "end"
   reset-counters                clear the counter bank
   scrub                         run an ECC scrub pass over every directory
+  metrics [prefix]              dump the live metrics registry (needs -obs)
+  watch <prefix> [n] [ms]       sample a metric prefix n times every ms
   trace                         trace-capture status
   trace reset                   clear the trace memory
   trace dump <path>             write the captured trace to a file
+  trace on [addr=lo:hi] [cpus=a,b]  enable the snoop event tracer
+  trace off                     disable the snoop event tracer
+  trace status                  snoop tracer state and totals
   quit                          leave the console
 `)
 }

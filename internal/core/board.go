@@ -31,6 +31,7 @@ import (
 	"memories/internal/bus"
 	"memories/internal/cache"
 	"memories/internal/coherence"
+	"memories/internal/obs"
 	"memories/internal/sdram"
 	"memories/internal/stats"
 	"memories/internal/tracefile"
@@ -131,6 +132,12 @@ type Board struct {
 	// batchByCmd is SnoopBatch's per-command accumulator, kept on the
 	// board so the batch path allocates nothing.
 	batchByCmd []uint64
+
+	// Observability attachments (see observe.go). Both are nil until
+	// Observe/SetMirror/SetTracer; the hot path pays one nil check each
+	// when detached and one inlined atomic flag probe when attached.
+	mirror *obs.Mirror
+	tracer *obs.Tracer
 }
 
 // pending is a buffered transaction awaiting directory service.
@@ -264,6 +271,11 @@ func (b *Board) LastCycle() uint64 { return b.lastCycle }
 // Snoop implements bus.Snooper: the board's entire observation path.
 func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 	b.justEnqueued = false
+	// Service a pending sampler request at this safe point: the previous
+	// transaction is fully accounted, this one not yet begun.
+	if m := b.mirror; m != nil && m.Requested() {
+		m.Publish()
+	}
 	b.lastCycle = tx.Cycle
 	b.cCycles.Reset()
 	b.cCycles.Add(tx.Cycle)
@@ -316,6 +328,9 @@ func (b *Board) Snoop(tx *bus.Transaction) bus.SnoopResponse {
 		// equivalent of the buffer never actually losing work).
 	}
 	b.cAccepted.Inc()
+	if tr := b.tracer; tr != nil && tr.Enabled() {
+		tr.Record(tx.Cycle, tx.Addr, uint8(tx.Cmd), uint8(tx.SrcID))
+	}
 	b.enqueue(pending{seq: tx.Seq, cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
 	b.justEnqueued = true
 	if hw := uint64(len(b.queue) - b.qhead); hw > b.cBufferHigh.Value() {
@@ -361,6 +376,11 @@ func (b *Board) SnoopBatch(txs []bus.Transaction) {
 	var accepted, overflow uint64
 	hw := b.cBufferHigh.Value()
 	scrubIv := b.cfg.ScrubIntervalCycles
+	// Tracing state is sampled once per batch: a tracer enabled mid-batch
+	// starts capturing at the next batch boundary. This keeps the per-
+	// transaction cost of a disabled tracer at a register test.
+	tr := b.tracer
+	traceOn := tr != nil && tr.Enabled()
 	for i := range txs {
 		tx := &txs[i]
 		if int(tx.Cmd) < len(byCmd) {
@@ -395,6 +415,9 @@ func (b *Board) SnoopBatch(txs []bus.Transaction) {
 			overflow++
 		}
 		accepted++
+		if traceOn {
+			tr.Record(tx.Cycle, tx.Addr, uint8(tx.Cmd), uint8(tx.SrcID))
+		}
 		b.enqueue(pending{seq: tx.Seq, cycle: tx.Cycle, cmd: tx.Cmd, addr: tx.Addr, src: tx.SrcID})
 		if occ := uint64(len(b.queue) - b.qhead); occ > hw {
 			hw = occ
@@ -414,6 +437,10 @@ func (b *Board) SnoopBatch(txs []bus.Transaction) {
 	if hw > b.cBufferHigh.Value() {
 		b.cBufferHigh.Reset()
 		b.cBufferHigh.Add(hw)
+	}
+	// One sampler probe per batch, at the batch-end safe point.
+	if m := b.mirror; m != nil && m.Requested() {
+		m.Publish()
 	}
 }
 

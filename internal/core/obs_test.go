@@ -1,0 +1,297 @@
+package core
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"memories/internal/obs"
+	"memories/internal/workload"
+)
+
+// TestBoardObsAllocFree is the ISSUE 5 hot-path acceptance criterion:
+// with a registry mirror and a tracer attached, Snoop and SnoopBatch
+// stay zero-allocation — tracing disabled (the steady state), tracing
+// enabled (ring writes are in-place), and with a sampler actively
+// requesting mirror publishes.
+func TestBoardObsAllocFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	hub := obs.NewTraceHub(io.Discard)
+	b := MustNewBoard(shardTestConfig())
+	if err := b.Observe(reg, hub, "board", 4096); err != nil {
+		t.Fatal(err)
+	}
+	txs := shardTestStream(4096)
+	for i := range txs {
+		b.Snoop(&txs[i])
+	}
+	m, tr := b.Mirror(), b.Tracer()
+	if m == nil || tr == nil {
+		t.Fatal("Observe did not attach mirror and tracer")
+	}
+
+	cycle := txs[len(txs)-1].Cycle
+	i := 0
+	snoopOne := func() {
+		cycle += 48
+		tx := txs[i%len(txs)]
+		tx.Cycle = cycle
+		b.Snoop(&tx)
+		i++
+	}
+
+	t.Run("snoop/tracing-off", func(t *testing.T) {
+		if allocs := testing.AllocsPerRun(10000, snoopOne); allocs != 0 {
+			t.Fatalf("Snoop with obs attached allocates %.2f/op, want 0", allocs)
+		}
+	})
+	t.Run("snoop/mirror-publish", func(t *testing.T) {
+		before := m.Publishes()
+		if allocs := testing.AllocsPerRun(2000, func() {
+			m.Request() // sampler asking for a publish every transaction
+			snoopOne()
+		}); allocs != 0 {
+			t.Fatalf("Snoop servicing mirror requests allocates %.2f/op, want 0", allocs)
+		}
+		if m.Publishes() == before {
+			t.Fatal("publish path was not exercised")
+		}
+	})
+	t.Run("snoop/tracing-on", func(t *testing.T) {
+		tr.Enable(obs.Filter{})
+		defer tr.Disable()
+		if allocs := testing.AllocsPerRun(10000, snoopOne); allocs != 0 {
+			t.Fatalf("Snoop with tracing enabled allocates %.2f/op, want 0", allocs)
+		}
+		if tr.Captured() == 0 {
+			t.Fatal("tracer captured nothing")
+		}
+	})
+
+	batch := txs[:64:64]
+	snoopBatch := func() {
+		for j := range batch {
+			cycle += 48
+			batch[j].Cycle = cycle
+		}
+		b.SnoopBatch(batch)
+	}
+	t.Run("batch/tracing-off", func(t *testing.T) {
+		if allocs := testing.AllocsPerRun(500, snoopBatch); allocs != 0 {
+			t.Fatalf("SnoopBatch with obs attached allocates %.2f/run, want 0", allocs)
+		}
+	})
+	t.Run("batch/mirror-publish", func(t *testing.T) {
+		if allocs := testing.AllocsPerRun(500, func() {
+			m.Request()
+			snoopBatch()
+		}); allocs != 0 {
+			t.Fatalf("SnoopBatch servicing mirror requests allocates %.2f/run, want 0", allocs)
+		}
+	})
+	t.Run("batch/tracing-on", func(t *testing.T) {
+		tr.Enable(obs.Filter{})
+		defer tr.Disable()
+		if allocs := testing.AllocsPerRun(500, snoopBatch); allocs != 0 {
+			t.Fatalf("SnoopBatch with tracing enabled allocates %.2f/run, want 0", allocs)
+		}
+	})
+}
+
+// TestObserveDoesNotPerturbCounters: the same stream with and without
+// an attached registry/tracer yields bit-identical counters — the
+// observability layer observes, it never steers.
+func TestObserveDoesNotPerturbCounters(t *testing.T) {
+	txs := shardTestStream(20_000)
+
+	plain := MustNewBoard(shardTestConfig())
+	for i := range txs {
+		tx := txs[i]
+		plain.Snoop(&tx)
+	}
+	plain.Flush()
+
+	reg := obs.NewRegistry()
+	hub := obs.NewTraceHub(io.Discard)
+	observed := MustNewBoard(shardTestConfig())
+	if err := observed.Observe(reg, hub, "board", 256); err != nil {
+		t.Fatal(err)
+	}
+	observed.Tracer().Enable(obs.Filter{})
+	for i := range txs {
+		tx := txs[i]
+		observed.Snoop(&tx)
+		if i%1000 == 0 {
+			observed.Mirror().Request()
+		}
+	}
+	observed.Flush()
+	observed.PublishObs()
+
+	diffSnapshots(t, plain.Counters().Snapshot(), observed.Counters().Snapshot(), "observed")
+
+	// The final registry snapshot equals the bank exactly.
+	snap := reg.Snapshot()
+	for name, want := range plain.Counters().Snapshot() {
+		if got := snap.Value("board." + name); got != want {
+			t.Errorf("registry board.%s = %d, bank %d", name, got, want)
+		}
+	}
+}
+
+// TestObsConcurrentSamplerStress is the ISSUE 5 race-stress criterion,
+// run under -race in CI: eight producers drive a sharded pipeline via
+// SnoopBatch while a sampler snapshots the registry, the trace hub
+// drains live rings, and an extra reader renders Prometheus text — all
+// concurrently. After quiesce the folded registry view must equal the
+// aggregated bank counters exactly.
+func TestObsConcurrentSamplerStress(t *testing.T) {
+	const producers = 8
+	perProducer := 40_000
+	if testing.Short() {
+		perProducer = 8_000
+	}
+
+	reg := obs.NewRegistry()
+	hub := obs.NewTraceHub(io.Discard)
+	sb, err := NewShardedBoard(stressConfig(), ShardedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Observe(reg, hub, "board", 1024); err != nil {
+		t.Fatal(err)
+	}
+	hub.Enable(obs.Filter{})
+	sampler := &obs.Sampler{Reg: reg, Interval: time.Millisecond, Hub: hub, JSONL: io.Discard}
+	sampler.Start()
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Request()
+			if err := obs.WriteProm(io.Discard, reg.Snapshot()); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	sb.Start()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			f := sb.NewFeeder()
+			rng := workload.NewRNG(uint64(300 + p))
+			for i := 0; i < perProducer; i++ {
+				f.Snoop(stressTx(p, i, rng))
+			}
+			f.Flush()
+		}(p)
+	}
+	wg.Wait()
+	sb.Stop()
+	close(stop)
+	readerWG.Wait()
+	hub.Disable()
+	sampler.Stop()
+
+	// Quiesced: force-publish and fold the per-shard registry values back
+	// into the monolithic view; every counter must match the banks.
+	sb.PublishObs()
+	fold := FoldShardCounters(reg.Snapshot(), "board")
+	bank := sb.Counters().Snapshot()
+	for name, want := range bank {
+		if fold[name] != want {
+			t.Errorf("folded %s = %d, bank %d", name, fold[name], want)
+		}
+	}
+	for name := range fold {
+		if _, ok := bank[name]; !ok {
+			t.Errorf("folded view has unknown counter %s", name)
+		}
+	}
+
+	// Every accepted transaction was offered to exactly one shard tracer:
+	// captured + dropped must equal the accepted total.
+	captured, dropped := hub.Totals()
+	if accepted := bank["filter.accepted"]; captured+dropped != accepted {
+		t.Errorf("tracer saw %d (%d captured + %d dropped), accepted %d",
+			captured+dropped, captured, dropped, accepted)
+	}
+	if hub.Drained() == 0 {
+		t.Error("live drain never ran")
+	}
+}
+
+// TestObserveAttachmentErrors covers the wiring failure modes: duplicate
+// registry prefixes (board and sharded), attaching after Start, and the
+// manual setter/getter pairs used by the console.
+func TestObserveAttachmentErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := MustNewBoard(shardTestConfig())
+	if err := b.Observe(reg, nil, "board", 0); err != nil {
+		t.Fatal(err)
+	}
+	b2 := MustNewBoard(shardTestConfig())
+	if err := b2.Observe(reg, nil, "board", 0); err == nil {
+		t.Fatal("duplicate prefix did not error")
+	}
+
+	sb, err := NewShardedBoard(stressConfig(), ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Observe(reg, nil, "pipe", 0); err != nil {
+		t.Fatal(err)
+	}
+	sb2, err := NewShardedBoard(stressConfig(), ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb2.Observe(reg, nil, "pipe", 0); err == nil {
+		t.Fatal("sharded duplicate shard prefix did not error")
+	}
+	sb.Start()
+	if err := sb.Observe(reg, nil, "late", 0); err == nil {
+		t.Fatal("Observe after Start did not error")
+	}
+	sb.Stop()
+
+	// The console wires mirror/tracer by hand via the setters.
+	b3 := MustNewBoard(shardTestConfig())
+	m := obs.NewMirror(b.bank)
+	tr := obs.NewTracer(8)
+	b3.SetMirror(m)
+	b3.SetTracer(tr)
+	if b3.Mirror() != m || b3.Tracer() != tr {
+		t.Fatal("setters did not round-trip")
+	}
+	b3.PublishObs()
+}
+
+// TestFoldShardCountersIgnoresForeign pins FoldShardCounters' prefix
+// handling: entries outside the prefix, and shard entries with no
+// trailing counter name, are skipped.
+func TestFoldShardCountersIgnoresForeign(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("other.shard0.miss").Add(5)
+	reg.Counter("board.shard0").Add(7) // no trailing ".<counter>"
+	reg.Counter("board.shard0.miss").Add(3)
+	reg.Counter("board.shard1.miss").Add(4)
+	fold := FoldShardCounters(reg.Snapshot(), "board")
+	if len(fold) != 1 || fold["miss"] != 7 {
+		t.Fatalf("fold = %v, want miss=7 only", fold)
+	}
+}

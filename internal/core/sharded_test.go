@@ -10,6 +10,7 @@ import (
 	"memories/internal/bus"
 	"memories/internal/cache"
 	"memories/internal/coherence"
+	"memories/internal/obs"
 	"memories/internal/workload"
 )
 
@@ -106,6 +107,10 @@ func TestShardedBoardMatchesSerial(t *testing.T) {
 	txs := shardTestStream(n)
 
 	serial := MustNewBoard(shardTestConfig())
+	serialReg := obs.NewRegistry()
+	if err := serial.Observe(serialReg, nil, "serial", 0); err != nil {
+		t.Fatal(err)
+	}
 	var serialEvents []DrainEvent
 	serial.SetDrainObserver(func(seq, cycle uint64, cmd bus.Command, a uint64, src int) {
 		serialEvents = append(serialEvents, DrainEvent{Seq: seq, Cycle: cycle, Cmd: cmd, Addr: a, Src: src})
@@ -115,7 +120,16 @@ func TestShardedBoardMatchesSerial(t *testing.T) {
 		serial.Snoop(&tx)
 	}
 	serial.Flush()
+	serial.PublishObs()
 	want := filterSnapshot(serial.Counters().Snapshot(), false)
+
+	// The serial board's registry mirror must reproduce the bank exactly.
+	serialSnap := serialReg.Snapshot()
+	for name, w := range serial.Counters().Snapshot() {
+		if got := serialSnap.Value("serial." + name); got != w {
+			t.Fatalf("registry serial.%s = %d, bank %d", name, got, w)
+		}
+	}
 
 	t.Run("synchronous", func(t *testing.T) {
 		sb, err := NewShardedBoard(shardTestConfig(), ShardedConfig{Shards: 4})
@@ -139,6 +153,10 @@ func TestShardedBoardMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			reg := obs.NewRegistry()
+			if err := sb.Observe(reg, nil, "board", 0); err != nil {
+				t.Fatal(err)
+			}
 			var events []DrainEvent
 			sb.SetOrderedDrainObserver(func(ev DrainEvent) { events = append(events, ev) })
 			sb.Start()
@@ -150,6 +168,14 @@ func TestShardedBoardMatchesSerial(t *testing.T) {
 			sb.Stop()
 			diffSnapshots(t, want, filterSnapshot(sb.Counters().Snapshot(), false),
 				fmt.Sprintf("pipelined/%d", shards))
+
+			// Registry dump: folding the per-shard mirrors back into the
+			// monolithic view must reproduce the serial bank, counter for
+			// counter (buffer telemetry aside, as above).
+			sb.PublishObs()
+			fold := FoldShardCounters(reg.Snapshot(), "board")
+			diffSnapshots(t, want, filterSnapshot(fold, false),
+				fmt.Sprintf("pipelined/%d registry", shards))
 
 			// The merge stage must reconstruct the serial drain log
 			// exactly: same operations, same order, same cycles.

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"memories/internal/addr"
+	"memories/internal/obs"
 	"memories/internal/stats"
 	"memories/internal/workload/splash"
 )
@@ -117,6 +118,15 @@ type Preset struct {
 	// Table 2 directory: 64M packed slots, 512 MB resident). Off by
 	// default; set via Options.BigMem / cmd/experiments -bigmem.
 	BigMem bool
+
+	// Obs, when non-nil, makes every board the experiment builds attach
+	// its counter bank to this registry under "<ObsScope>.<run label>.*"
+	// so a live sampler (cmd/experiments -obs) can watch the run. Set via
+	// Options.Obs; nil costs the boards nothing.
+	Obs *obs.Registry
+	// ObsScope is the registry name root for this experiment's boards
+	// (normally the experiment ID). Set by RunWith.
+	ObsScope string
 
 	// Fault-injection experiment (not from the paper: it stresses the
 	// reliability claims §3.3 only asserts).
@@ -264,6 +274,11 @@ type Options struct {
 	// BigMem enables the fully allocated big-memory corners (table2's
 	// 8 GB directory run: ~512 MB RAM and tens of seconds).
 	BigMem bool
+	// Obs attaches every board the experiment builds to this metrics
+	// registry (see Preset.Obs). Each experiment run needs a fresh
+	// registry scope, so re-running the same ID against the same
+	// registry fails with a duplicate-prefix error.
+	Obs *obs.Registry
 }
 
 // Run regenerates one experiment at the given scale, serially — the
@@ -286,6 +301,8 @@ func RunWith(id string, scale Scale, opts Options) (*Result, error) {
 		p.Parallel = runtime.GOMAXPROCS(0)
 	}
 	p.BigMem = opts.BigMem
+	p.Obs = opts.Obs
+	p.ObsScope = id
 	res, err := r.run(p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)

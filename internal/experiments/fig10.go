@@ -34,7 +34,11 @@ func runFig10(p Preset) (*Result, error) {
 			}
 			return g
 		}
-		b, _, err := boardRun(hcfg, newGen, bcfg, p.Fig10Refs)
+		label := "fixed"
+		if buggy {
+			label = "buggy"
+		}
+		b, _, err := boardRun(p, label, hcfg, newGen, bcfg, p.Fig10Refs)
 		return b, err
 	}
 

@@ -39,7 +39,7 @@ func runFig11(p Preset) (*Result, error) {
 	perApp, err := parallel.Map(p.Parallel, len(names), func(ai int) ([]float64, error) {
 		name := names[ai]
 		newGen := func() workload.Generator { return splash.New(name, p.Fig11Size, hcfg.NumCPUs, p.SplashSeed) }
-		views, err := cacheSweep(hcfg, newGen, sizes, 128, 4, p.Fig11Refs, p.Parallel)
+		views, err := cacheSweep(p, name, hcfg, newGen, sizes, 128, 4, p.Fig11Refs, p.Parallel)
 		if err != nil {
 			return nil, err
 		}

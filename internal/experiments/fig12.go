@@ -39,7 +39,7 @@ func runFig12(p Preset) (*Result, error) {
 				p.Fig12CacheMB*addr.MB, p.Fig12LineB, 4, 0))
 		}
 		newGen := func() workload.Generator { return splash.New(name, p.Fig12Size, hcfg.NumCPUs, p.SplashSeed) }
-		b, _, err := boardRun(hcfg, newGen, core.Config{Nodes: nodes}, p.Fig12Refs)
+		b, _, err := boardRun(p, fmt.Sprintf("%s.%dx%d", name, nodesN, procs), hcfg, newGen, core.Config{Nodes: nodes}, p.Fig12Refs)
 		if err != nil {
 			return fig12Breakdown{}, err
 		}

@@ -42,7 +42,7 @@ func runFig8(p Preset) (*Result, error) {
 		if s.workload == "tpch" {
 			newGen = func() workload.Generator { return workload.NewTPCH(workload.ScaledTPCHConfig(p.TPCHFactor)) }
 		}
-		views, err := cacheSweep(hcfg, newGen, sizes, 128, 8, s.refs, p.Parallel)
+		views, err := cacheSweep(p, s.workload+"."+s.label, hcfg, newGen, sizes, 128, 8, s.refs, p.Parallel)
 		if err != nil {
 			return series{}, err
 		}

@@ -27,11 +27,12 @@ func runFig9(p Preset) (*Result, error) {
 	// 2*len(procCounts) independent sweeps: even tasks are the long
 	// trace, odd tasks the short one, for procCounts[i/2] per node.
 	flat, err := parallel.Map(p.Parallel, 2*len(procCounts), func(i int) (float64, error) {
-		refs := p.Fig9Long
+		refs, trace := p.Fig9Long, "long"
 		if i%2 == 1 {
-			refs = p.Fig9Short
+			refs, trace = p.Fig9Short, "short"
 		}
-		return procSweep(hcfg, newGen, cacheBytes, 128, 8, refs, procCounts[i/2], p.Parallel)
+		scope := fmt.Sprintf("procs%d.%s", procCounts[i/2], trace)
+		return procSweep(p, scope, hcfg, newGen, cacheBytes, 128, 8, refs, procCounts[i/2], p.Parallel)
 	})
 	if err != nil {
 		return nil, err

@@ -28,12 +28,12 @@ func TestSweepParallelEquivalence(t *testing.T) {
 		pars = []int{4}
 	}
 
-	serialViews, err := cacheSweep(hcfg, newGen, sizes, 128, 4, refs, 1)
+	serialViews, err := cacheSweep(Preset{}, "serial", hcfg, newGen, sizes, 128, 4, refs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range pars {
-		views, err := cacheSweep(hcfg, newGen, sizes, 128, 4, refs, par)
+		views, err := cacheSweep(Preset{}, "par", hcfg, newGen, sizes, 128, 4, refs, par)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,11 +48,11 @@ func TestSweepParallelEquivalence(t *testing.T) {
 		}
 	}
 
-	serialMiss, err := procSweep(hcfg, newGen, 2*addr.MB, 128, 4, refs, 1, 1)
+	serialMiss, err := procSweep(Preset{}, "serial", hcfg, newGen, 2*addr.MB, 128, 4, refs, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parMiss, err := procSweep(hcfg, newGen, 2*addr.MB, 128, 4, refs, 1, 8)
+	parMiss, err := procSweep(Preset{}, "par", hcfg, newGen, 2*addr.MB, 128, 4, refs, 1, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,11 +43,26 @@ func dbHostConfig(p Preset) host.Config {
 }
 
 // boardRun wires a fresh host (from cfg and generator factory) to a fresh
-// board and runs refs references, flushing the board at the end.
-func boardRun(hcfg host.Config, newGen func() workload.Generator, bcfg core.Config, refs uint64) (*core.Board, *host.Host, error) {
+// board and runs refs references, flushing the board at the end. When the
+// preset carries a registry, the board's counters appear under
+// "<ObsScope>.<label>.*" for the duration of the run; label must be
+// unique within the experiment.
+func boardRun(p Preset, label string, hcfg host.Config, newGen func() workload.Generator, bcfg core.Config, refs uint64) (*core.Board, *host.Host, error) {
 	b, err := core.NewBoard(bcfg)
 	if err != nil {
 		return nil, nil, err
+	}
+	if p.Obs != nil {
+		prefix := p.ObsScope
+		if prefix == "" {
+			prefix = "experiment"
+		}
+		if label != "" {
+			prefix += "." + label
+		}
+		if err := b.Observe(p.Obs, nil, prefix, 0); err != nil {
+			return nil, nil, err
+		}
 	}
 	h, err := host.New(hcfg, newGen())
 	if err != nil {
@@ -56,6 +71,9 @@ func boardRun(hcfg host.Config, newGen func() workload.Generator, bcfg core.Conf
 	h.Bus().Attach(b)
 	h.Run(refs)
 	b.Flush()
+	// Publish the exact post-flush counters so a sampler's final snapshot
+	// matches the end-of-run tables.
+	b.PublishObs()
 	return b, h, nil
 }
 
@@ -67,7 +85,7 @@ func boardRun(hcfg host.Config, newGen func() workload.Generator, bcfg core.Conf
 // an identical stream. Batches are fully independent (fresh board, host,
 // and seeded generator each), so up to par of them run concurrently;
 // results are bit-identical at every par.
-func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int64, lineBytes int64, assoc int, refs uint64, par int) ([]core.NodeView, error) {
+func cacheSweep(p Preset, scope string, hcfg host.Config, newGen func() workload.Generator, sizes []int64, lineBytes int64, assoc int, refs uint64, par int) ([]core.NodeView, error) {
 	nBatches := (len(sizes) + core.MaxNodes - 1) / core.MaxNodes
 	batches, err := parallel.Map(par, nBatches, func(bi int) ([]core.NodeView, error) {
 		start := bi * core.MaxNodes
@@ -76,7 +94,7 @@ func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int6
 		for i, size := range sizes[start:end] {
 			nodes = append(nodes, mesiNode(fmt.Sprintf("s%d", start+i), allCPUs(hcfg.NumCPUs), size, lineBytes, assoc, i))
 		}
-		b, _, err := boardRun(hcfg, newGen, core.Config{Nodes: nodes}, refs)
+		b, _, err := boardRun(p, sweepLabel(scope, bi), hcfg, newGen, core.Config{Nodes: nodes}, refs)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +118,7 @@ func cacheSweep(hcfg host.Config, newGen func() workload.Generator, sizes []int6
 // split into nodes of `procs` processors, each with its own cache of
 // cacheBytes. More than four nodes take multiple board runs (the paper's
 // board has four controllers); results aggregate across runs.
-func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, lineBytes int64, assoc int, refs uint64, procs, par int) (float64, error) {
+func procSweep(p Preset, scope string, hcfg host.Config, newGen func() workload.Generator, cacheBytes, lineBytes int64, assoc int, refs uint64, procs, par int) (float64, error) {
 	if hcfg.NumCPUs%procs != 0 {
 		return 0, fmt.Errorf("experiments: %d CPUs not divisible by %d per node", hcfg.NumCPUs, procs)
 	}
@@ -116,7 +134,7 @@ func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, l
 			}
 			nodes = append(nodes, mesiNode(fmt.Sprintf("n%d", n), cpus, cacheBytes, lineBytes, assoc, 0))
 		}
-		b, _, err := boardRun(hcfg, newGen, core.Config{Nodes: nodes}, refs)
+		b, _, err := boardRun(p, sweepLabel(scope, batch), hcfg, newGen, core.Config{Nodes: nodes}, refs)
 		if err != nil {
 			return tally{}, err
 		}
@@ -140,6 +158,14 @@ func procSweep(hcfg host.Config, newGen func() workload.Generator, cacheBytes, l
 		return 0, fmt.Errorf("experiments: proc sweep saw no references")
 	}
 	return float64(missSum) / float64(refSum), nil
+}
+
+// sweepLabel names one sweep batch's board in the metrics registry.
+func sweepLabel(scope string, batch int) string {
+	if scope == "" {
+		return fmt.Sprintf("batch%d", batch)
+	}
+	return fmt.Sprintf("%s.batch%d", scope, batch)
 }
 
 // monotoneNonincreasing checks a curve falls (within a relative

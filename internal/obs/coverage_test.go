@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"memories/internal/stats"
+)
+
+func TestFilterString(t *testing.T) {
+	var zero Filter
+	if got := zero.String(); got != "all addrs, all cpus" {
+		t.Fatalf("zero filter = %q", got)
+	}
+	var cpus CPUMask
+	cpus.Set(0)
+	cpus.Set(2)
+	f := Filter{AddrLo: 0x1000, AddrHi: 0x2000, CPUs: cpus}
+	if got := f.String(); got != "addrs [0x1000,0x2000), cpus 0,2" {
+		t.Fatalf("bounded filter = %q", got)
+	}
+}
+
+func TestTracerFilterAccessor(t *testing.T) {
+	tr := NewTracer(8)
+	f := Filter{AddrLo: 64, AddrHi: 128}
+	tr.Enable(f)
+	if got := tr.Filter(); got != f {
+		t.Fatalf("Filter() = %+v, want %+v", got, f)
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	if h.Count() != 3 {
+		t.Fatalf("Count() = %d", h.Count())
+	}
+	if h.Sum() != 555 {
+		t.Fatalf("Sum() = %d", h.Sum())
+	}
+}
+
+func TestMirrorPublishesCounter(t *testing.T) {
+	bank := stats.NewBank()
+	bank.Counter("x")
+	m := NewMirror(bank)
+	base := m.Publishes()
+	m.Publish()
+	m.Publish()
+	if got := m.Publishes(); got != base+2 {
+		t.Fatalf("Publishes() = %d after two publishes, want %d", got, base+2)
+	}
+}
+
+func TestTraceHubEnabledAndTotals(t *testing.T) {
+	h := NewTraceHub(io.Discard)
+	a, b := NewTracer(4), NewTracer(4)
+	h.Add("a", a)
+	h.Add("b", b)
+	if on, _ := h.Enabled(); on {
+		t.Fatal("hub enabled before Enable")
+	}
+	f := Filter{AddrHi: 1 << 20}
+	h.Enable(f)
+	on, got := h.Enabled()
+	if !on || got != f {
+		t.Fatalf("Enabled() = %v, %+v", on, got)
+	}
+	a.Record(1, 0, 0, 0)
+	a.Record(2, 64, 0, 0)
+	b.Record(3, 128, 0, 0)
+	// Overflow b's 4-slot ring so dropped counts too.
+	for i := 0; i < 10; i++ {
+		b.Record(uint64(4+i), 0, 0, 0)
+	}
+	captured, dropped := h.Totals()
+	if captured != a.Captured()+b.Captured() || dropped != a.Dropped()+b.Dropped() {
+		t.Fatalf("Totals() = %d,%d want %d,%d",
+			captured, dropped, a.Captured()+b.Captured(), a.Dropped()+b.Dropped())
+	}
+	if dropped == 0 {
+		t.Fatal("expected drops after overflowing the 4-slot ring")
+	}
+}
+
+func TestTraceHubStartStop(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewTraceHub(&buf)
+	tr := NewTracer(64)
+	h.Add("s", tr)
+	h.Enable(Filter{})
+	tr.Record(1, 64, 0, 0)
+	h.Start(time.Millisecond)
+	h.Start(time.Millisecond) // second Start is a no-op
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Drained() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("drainer never drained the record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A record present at Stop is flushed by the final drain.
+	tr.Record(2, 128, 0, 0)
+	h.Stop()
+	h.Stop() // second Stop is a no-op
+	if h.Drained() != 2 {
+		t.Fatalf("Drained() = %d after stop, want 2", h.Drained())
+	}
+	if !strings.Contains(buf.String(), "addr=0x80") {
+		t.Fatalf("final drain missing second record: %q", buf.String())
+	}
+	// The drainer can be relaunched after Stop.
+	h.Start(0)
+	h.Stop()
+}
+
+func TestDumpRendersGaugesAndHists(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c.total").Add(4)
+	r.RegisterGaugeFunc("g.level", func() float64 { return 2.5 })
+	r.Histogram("h.lat", []uint64{10}).Observe(7)
+	got := r.Snapshot().Dump("")
+	want := "c.total 4\ng.level 2.5\nh.lat count=1 sum=7\n"
+	if got != want {
+		t.Fatalf("Dump() = %q, want %q", got, want)
+	}
+	if r.Snapshot().Dump("g.") != "g.level 2.5\n" {
+		t.Fatalf("prefix dump = %q", r.Snapshot().Dump("g."))
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromNamespace prefixes every exported Prometheus metric name.
+const PromNamespace = "memories"
+
+// PromName sanitizes a hierarchical registry name ("board.shard3.miss")
+// into a Prometheus metric name ("memories_board_shard3_miss"): dots and
+// dashes become underscores, any other character outside
+// [a-zA-Z0-9_:] becomes '_' as well.
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(PromNamespace) + 1 + len(name))
+	sb.WriteString(PromNamespace)
+	sb.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic for a given snapshot:
+// metrics appear sorted by registry name within each section.
+func WriteProm(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range s.Counters {
+		n := PromName(c.Name)
+		fmt.Fprintf(bw, "# HELP %s memories counter %s\n", n, escapeHelp(c.Name))
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s %d\n", n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := PromName(g.Name)
+		fmt.Fprintf(bw, "# HELP %s memories gauge %s\n", n, escapeHelp(g.Name))
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(bw, "%s %s\n", n, formatPromValue(g.Value))
+	}
+	for _, h := range s.Hists {
+		n := PromName(h.Name)
+		fmt.Fprintf(bw, "# HELP %s memories histogram %s\n", n, escapeHelp(h.Name))
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		cum := uint64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, b, cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	return bw.Flush()
+}
+
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a raw registry name for use inside a # HELP comment
+// per the text-format rules: backslash and newline must be escaped so a
+// hostile name cannot break the line framing.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// PromSample is one parsed sample line from the text format.
+type PromSample struct {
+	Name  string // metric name, including any _bucket/_sum/_count suffix
+	Le    string // value of the le label, if present
+	Value float64
+}
+
+// ParseProm parses Prometheus text-format output (the subset WriteProm
+// emits: comments, bare samples, and single-label `le` buckets) into
+// samples in input order. Malformed sample lines return an error; the
+// fuzz suite uses this to prove render→parse round-trips.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s PromSample
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.Name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				return nil, fmt.Errorf("obs: prom line %d: unterminated label set", lineNo)
+			}
+			labels := rest[i+1 : j]
+			const lePrefix = `le="`
+			if !strings.HasPrefix(labels, lePrefix) || !strings.HasSuffix(labels, `"`) {
+				return nil, fmt.Errorf("obs: prom line %d: unsupported labels %q", lineNo, labels)
+			}
+			s.Le = labels[len(lePrefix) : len(labels)-1]
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("obs: prom line %d: want 'name value', got %q", lineNo, line)
+			}
+			s.Name, rest = fields[0], fields[1]
+		}
+		if s.Name == "" {
+			return nil, fmt.Errorf("obs: prom line %d: empty metric name", lineNo)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: bad value: %v", lineNo, err)
+		}
+		s.Value = v
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// jsonSnapshot is the wire shape of a JSON-lines snapshot. Maps render
+// with sorted keys under encoding/json, so output is deterministic.
+type jsonSnapshot struct {
+	Counters map[string]uint64   `json:"counters,omitempty"`
+	Gauges   map[string]float64  `json:"gauges,omitempty"`
+	Hists    map[string]jsonHist `json:"histograms,omitempty"`
+}
+
+type jsonHist struct {
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+}
+
+// WriteJSON renders the snapshot as a single JSON object followed by a
+// newline (JSON-lines framing). Deterministic: object keys sort.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	js := jsonSnapshot{}
+	if len(s.Counters) > 0 {
+		js.Counters = make(map[string]uint64, len(s.Counters))
+		for _, c := range s.Counters {
+			js.Counters[c.Name] = c.Value
+		}
+	}
+	if len(s.Gauges) > 0 {
+		js.Gauges = make(map[string]float64, len(s.Gauges))
+		for _, g := range s.Gauges {
+			js.Gauges[g.Name] = g.Value
+		}
+	}
+	if len(s.Hists) > 0 {
+		js.Hists = make(map[string]jsonHist, len(s.Hists))
+		for _, h := range s.Hists {
+			js.Hists[h.Name] = jsonHist{Bounds: h.Bounds, Counts: h.Counts, Count: h.Count, Sum: h.Sum}
+		}
+	}
+	b, err := json.Marshal(js)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

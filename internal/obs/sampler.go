@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Sampler periodically requests fresh mirror publishes, snapshots the
+// registry, and emits the snapshot as a JSON line. It is the software
+// analogue of the console PC polling the board's counters over the
+// parallel port while an emulation run is in flight.
+type Sampler struct {
+	// Reg is the registry to snapshot. Required.
+	Reg *Registry
+	// Interval between snapshots; 0 selects one second.
+	Interval time.Duration
+	// JSONL, when non-nil, receives one JSON object per snapshot.
+	JSONL io.Writer
+	// Hub, when non-nil, is drained before each snapshot so trace
+	// output interleaves with metric samples in arrival order.
+	Hub *TraceHub
+	// OnSnapshot, when non-nil, is called with each snapshot after it
+	// is written (tests and the console `watch` command hook in here).
+	OnSnapshot func(*Snapshot)
+
+	mu    sync.Mutex
+	stop  chan struct{}
+	done  chan struct{}
+	ticks Counter
+}
+
+// Tick performs one sampling step synchronously: request publishes,
+// give owners a moment to service them by draining the hub, snapshot,
+// and emit. Returns the snapshot.
+//
+// Note the request→snapshot ordering: a Tick observes values from each
+// owner's previous safe point, and primes the next. Continuous sampling
+// therefore lags one interval behind the live board, exactly like the
+// hardware console did.
+func (s *Sampler) Tick() *Snapshot {
+	s.Reg.Request()
+	if s.Hub != nil {
+		s.Hub.DrainOnce()
+	}
+	snap := s.Reg.Snapshot()
+	if s.JSONL != nil {
+		_ = WriteJSON(s.JSONL, snap)
+	}
+	if s.OnSnapshot != nil {
+		s.OnSnapshot(snap)
+	}
+	s.ticks.Inc()
+	return snap
+}
+
+// Ticks returns how many snapshots the sampler has produced.
+func (s *Sampler) Ticks() uint64 { return s.ticks.Value() }
+
+// Start launches the periodic sampler goroutine. Safe to call once;
+// subsequent calls before Stop are no-ops.
+func (s *Sampler) Start() {
+	interval := s.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampler goroutine and takes one final snapshot so the
+// emitted stream always ends with the run's closing state.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+		s.Tick()
+	}
+}

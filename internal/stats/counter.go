@@ -87,6 +87,21 @@ func (b *Bank) Value(name string) uint64 {
 // Len returns the number of counters in the bank.
 func (b *Bank) Len() int { return len(b.counters) }
 
+// Ordered returns the bank's counter names and the counters themselves in
+// creation order, index-aligned. The counter pointers alias the bank's
+// live counters: callers that hold them (the observability mirror) read
+// values without re-probing the map, but must only do so from the
+// goroutine that owns the bank.
+func (b *Bank) Ordered() ([]string, []*Counter) {
+	names := make([]string, len(b.order))
+	copy(names, b.order)
+	counters := make([]*Counter, len(names))
+	for i, name := range names {
+		counters[i] = b.counters[name]
+	}
+	return names, counters
+}
+
 // Names returns all counter names in creation order.
 func (b *Bank) Names() []string {
 	out := make([]string, len(b.order))

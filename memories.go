@@ -32,14 +32,17 @@ package memories
 import (
 	"io"
 	"os"
+	"time"
 
 	"memories/internal/addr"
+	"memories/internal/bus"
 	"memories/internal/cache"
 	"memories/internal/coherence"
 	"memories/internal/console"
 	"memories/internal/core"
 	"memories/internal/faults"
 	"memories/internal/host"
+	"memories/internal/obs"
 	"memories/internal/workload"
 	"memories/internal/workload/splash"
 )
@@ -280,6 +283,7 @@ func NewFaultSession(hcfg HostConfig, bcfg BoardConfig, fcfg FaultConfig, gen Ge
 type Session struct {
 	Host  *Host
 	Board *Board
+	obs   *ObsHandle
 }
 
 // NewSession builds the host and board and attaches the board to the
@@ -302,11 +306,73 @@ func NewSession(hcfg HostConfig, bcfg BoardConfig, gen Generator) (*Session, err
 func (s *Session) Run(n uint64) uint64 {
 	ran := s.Host.Run(n)
 	s.Board.Flush()
+	s.Board.PublishObs()
 	return ran
 }
 
 // Console returns a console bound to the session's board, writing replies
-// to w — the software equivalent of the paper's PC console.
+// to w — the software equivalent of the paper's PC console. If EnableObs
+// has run, the console's metrics/watch/trace-on commands are wired up.
 func (s *Session) Console(w io.Writer) *console.Console {
-	return console.New(s.Board, w)
+	c := console.New(s.Board, w)
+	if s.obs != nil {
+		c.SetObs(s.obs.Registry, s.obs.Hub, s.Board.PublishObs)
+	}
+	return c
+}
+
+// ObsHandle bundles a session's live-observability plumbing: the metrics
+// registry the board's counters are mirrored into, the snoop-trace hub,
+// the periodic sampler, and the optional HTTP export endpoint.
+type ObsHandle struct {
+	Registry *obs.Registry
+	Hub      *obs.TraceHub
+	Sampler  *obs.Sampler
+	Server   *obs.Server
+}
+
+// Close stops the sampler (with a final snapshot), the trace drainer,
+// and the HTTP endpoint.
+func (h *ObsHandle) Close() error {
+	h.Sampler.Stop()
+	h.Hub.Stop()
+	if h.Server != nil {
+		return h.Server.Close()
+	}
+	return nil
+}
+
+// EnableObs attaches the session's board to a fresh metrics registry
+// under the "board" prefix and builds the sampler/trace plumbing around
+// it: httpAddr (e.g. ":9090") serves /metrics and /metrics.json (empty
+// disables HTTP), jsonl receives one JSON snapshot line per interval
+// (nil disables), and traceSink receives drained snoop-trace lines once
+// tracing is turned on (nil discards them). The sampler and trace
+// drainer start immediately; Close the handle when done.
+func (s *Session) EnableObs(httpAddr string, interval time.Duration, jsonl, traceSink io.Writer) (*ObsHandle, error) {
+	reg := obs.NewRegistry()
+	hub := obs.NewTraceHub(traceSink)
+	hub.CmdString = func(c uint8) string { return bus.Command(c).String() }
+	if err := s.Board.Observe(reg, hub, "board", 0); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	h := &ObsHandle{
+		Registry: reg,
+		Hub:      hub,
+		Sampler:  &obs.Sampler{Reg: reg, Interval: interval, JSONL: jsonl, Hub: hub},
+	}
+	if httpAddr != "" {
+		srv, err := obs.Serve(httpAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+		h.Server = srv
+	}
+	h.Hub.Start(interval)
+	h.Sampler.Start()
+	s.obs = h
+	return h, nil
 }
