@@ -33,7 +33,7 @@ race:
 # to actually explore.
 .PHONY: fuzz-seeds
 fuzz-seeds:
-	$(GO) test ./internal/cache/ ./internal/coherence/ ./internal/tracefile/ ./internal/obs/ ./internal/console/ -run 'Fuzz.*'
+	$(GO) test ./internal/cache/ ./internal/coherence/ ./internal/tracefile/ ./internal/obs/ ./internal/console/ ./internal/checkpoint/ ./internal/core/ -run 'Fuzz.*'
 
 FUZZTIME ?= 2m
 .PHONY: fuzz-long
@@ -43,6 +43,8 @@ fuzz-long:
 	$(GO) test ./internal/tracefile/ -run FuzzRoundTripV2 -fuzz FuzzRoundTripV2 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run FuzzPromText -fuzz FuzzPromText -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/console/ -run FuzzConsoleCommand -fuzz FuzzConsoleCommand -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/checkpoint/ -run FuzzSnapshotDecode -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -run FuzzCheckpointRestore -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME)
 
 # The fault-injection acceptance sweep at CI scale (~seconds), run
 # serially (-parallel 1) so the output is the deterministic golden run.
@@ -76,12 +78,13 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -cpu 1 -benchmem . | tee ci/bench-baseline.txt
 
 # Compare bench.txt against the committed baseline: >10% median ns/op,
-# B/op, or allocs/op regression on a Table3/Fig8/Obs kernel fails (a
-# zero-alloc baseline that starts allocating fails at any threshold).
-# ObsOverhead keeps the observability tax on the snoop kernel gated.
+# B/op, or allocs/op regression on a Table3/Fig8/Obs/Checkpoint kernel
+# fails (a zero-alloc baseline that starts allocating fails at any
+# threshold). ObsOverhead keeps the observability tax on the snoop
+# kernel gated; CheckpointWrite keeps snapshot serialization MB/s gated.
 .PHONY: bench-check
 bench-check:
-	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs' -threshold 0.10 -gate 'B/op,allocs/op'
+	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs|Checkpoint' -threshold 0.10 -gate 'B/op,allocs/op'
 
 # The trace-pipeline throughput gate: the v2 parallel reader must beat
 # the v1 per-record reader's ns/rec by 2x. Needs real cores — on a
@@ -91,6 +94,13 @@ bench-trace:
 	$(GO) test -run '^$$' -bench 'TraceRead' -benchtime 20000x -count $(BENCHCOUNT) -cpu 1,2,4 . | tee bench-trace.txt
 	$(GO) run ./cmd/benchdiff -current bench-trace.txt \
 		-ratio-base BenchmarkTraceReadV1 -ratio-new BenchmarkTraceReadV2Pipeline -min-ratio 2.0
+
+# The process-level crash-safety oracle: builds cmd/experiments, kills
+# it with SIGKILL mid-sweep, resumes from its journal, and requires
+# output identical (modulo wall clock) to the uninterrupted run.
+.PHONY: crash-resume
+crash-resume:
+	$(GO) test -race -run TestKillResume -v .
 
 .PHONY: lint
 lint:

@@ -702,6 +702,43 @@ func BenchmarkSnoopBatch(b *testing.B) {
 	b.ReportMetric(board.Node(0).MissRatio(), "missratio")
 }
 
+// --- Checkpoint serialization (crash-safe snapshots) ---
+
+// BenchmarkCheckpointWrite measures full-board snapshot serialization —
+// packed directory words, tag-store timing state, and the counter bank
+// through the section-framed container (CRC-32 per section plus the
+// whole-file digest). SetBytes makes the MB/s column the gated metric:
+// a checkpoint of the warmed 2 MB board must not get slower to produce,
+// since cmd/experiments and cmd/tracesim write these at every
+// -checkpoint-every boundary.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	board := core.MustNewBoard(SingleL3Board(2*MB, 4, 128))
+	gen := workload.NewZipfian(workload.ZipfConfig{NumCPUs: 8, FootprintByte: 64 * addr.MB, WriteFraction: 0.3, Seed: 7})
+	cycle := uint64(0)
+	for i := 0; i < 1<<16; i++ {
+		ref, _ := gen.Next()
+		cmd := bus.Read
+		if ref.Write {
+			cmd = bus.RWITM
+		}
+		cycle += 48
+		board.Snoop(&bus.Transaction{Cmd: cmd, Addr: ref.Addr, Size: 128, SrcID: ref.CPU, Cycle: cycle})
+	}
+	board.Flush()
+	var buf bytes.Buffer
+	if err := board.WriteCheckpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := board.WriteCheckpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // AblationSDRAMPacing compares tag-store timings: the stock 42%-of-bus
 // model against a hypothetical full-speed SDRAM, measuring queue pressure.
 func BenchmarkAblationSDRAMPacing(b *testing.B) {

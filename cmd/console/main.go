@@ -8,8 +8,15 @@
 //	> run 1000000
 //	> nodes
 //	> reprogram 0 size=256MB assoc=8
+//	> checkpoint warm.ckpt
 //	> run 1000000
 //	> node 0
+//
+// The checkpoint/restore commands snapshot the whole session (workload
+// cursors, host, board, counters). With -checkpoint, SIGINT/SIGTERM
+// writes a final snapshot before exiting — a long "run" stops at the
+// next millionth reference — and -resume warm-starts a new console from
+// a previous snapshot.
 package main
 
 import (
@@ -17,8 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"memories"
@@ -33,6 +44,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		obsAddr  = flag.String("obs", "", "serve live metrics on this address (e.g. :9090) and enable the metrics/watch/trace-on console commands")
 		obsIv    = flag.Duration("obs-interval", time.Second, "sampler and trace-drain interval for -obs")
+		ckpt     = flag.String("checkpoint", "", "write a final session snapshot here on SIGINT/SIGTERM")
+		resume   = flag.String("resume", "", "restore a session snapshot before the first prompt")
 	)
 	flag.Parse()
 
@@ -65,15 +78,67 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var obsHandle *memories.ObsHandle
 	if *obsAddr != "" {
 		h, err := s.EnableObs(*obsAddr, *obsIv, nil, os.Stdout)
 		if err != nil {
 			fatal(err)
 		}
+		obsHandle = h
 		defer h.Close()
 		fmt.Printf("obs: serving /metrics on %s\n", h.Server.Addr())
 	}
 	c := s.Console(os.Stdout)
+	c.SetCheckpoint(s.Checkpoint, func(path string) error {
+		rep, err := s.Restore(path)
+		if err != nil {
+			return err
+		}
+		if rep.ECCCorrected+rep.ECCInvalidated > 0 {
+			fmt.Printf("restore: ECC repaired %d word(s), invalidated %d\n",
+				rep.ECCCorrected, rep.ECCInvalidated)
+		}
+		return nil
+	})
+	if *resume != "" {
+		if _, err := s.Restore(*resume); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("session restored from %s\n", *resume)
+	}
+
+	// Graceful shutdown: the session mutex serializes the signal
+	// handler against an in-flight command; quit makes a long "run"
+	// yield at the next chunk boundary so the final checkpoint happens
+	// promptly. A second signal aborts without checkpointing.
+	var mu sync.Mutex
+	var quit atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		quit.Store(true)
+		fmt.Fprintln(os.Stderr, "\nconsole: shutting down (^C again to abort)")
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "console: aborted")
+			os.Exit(130)
+		}()
+		mu.Lock()
+		code := 130
+		if *ckpt != "" {
+			if err := s.Checkpoint(*ckpt); err != nil {
+				fmt.Fprintln(os.Stderr, "console: final checkpoint:", err)
+				code = 1
+			} else {
+				fmt.Fprintf(os.Stderr, "console: session checkpointed to %s (resume with -resume)\n", *ckpt)
+			}
+		}
+		if obsHandle != nil {
+			obsHandle.Close()
+		}
+		os.Exit(code)
+	}()
 
 	fmt.Printf("MemorIES console — workload %s, board %s %d-way. Type 'help'; 'run <n>' advances the host.\n",
 		*wl, *l3, *assoc)
@@ -95,14 +160,31 @@ func main() {
 				}
 				n = v
 			}
-			ran := s.Run(n)
+			// Chunked so a shutdown signal can checkpoint mid-run.
+			var ran uint64
+			for ran < n && !quit.Load() {
+				chunk := n - ran
+				if chunk > 1_000_000 {
+					chunk = 1_000_000
+				}
+				mu.Lock()
+				got := s.Run(chunk)
+				mu.Unlock()
+				ran += got
+				if got < chunk {
+					break
+				}
+			}
 			fmt.Printf("ran %d references (bus utilization %.1f%%)\n", ran, s.Host.Bus().Utilization()*100)
 			continue
 		}
 		if line == "quit" || line == "exit" {
 			return
 		}
-		if err := c.Execute(line); err != nil {
+		mu.Lock()
+		err := c.Execute(line)
+		mu.Unlock()
+		if err != nil {
 			fmt.Printf("error: %v\n", err)
 		}
 	}

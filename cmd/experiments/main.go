@@ -8,17 +8,30 @@
 //	experiments -parallel 1     # fully serial: the deterministic golden run
 //	experiments -list           # show available experiment IDs
 //	experiments -csv            # emit CSV instead of aligned tables
+//	experiments -checkpoint J   # journal completed experiments to J (crash-safe)
+//	experiments -resume J       # skip experiments already journaled in J
+//
+// A sweep interrupted by SIGINT/SIGTERM (or killed outright between
+// experiments) resumes from its journal: completed experiments replay
+// their recorded output byte-for-byte and only the unfinished ones run
+// again, so an interrupted+resumed sweep prints exactly what the
+// uninterrupted one would have.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"memories/internal/checkpoint"
 	"memories/internal/experiments"
 	"memories/internal/obs"
 	"memories/internal/prof"
@@ -26,12 +39,143 @@ import (
 
 type outcome struct {
 	id      string
-	res     *experiments.Result
+	text    string // rendered output (tables or CSV), ready to print
 	err     error
 	elapsed time.Duration
+	skipped bool // not run because shutdown was requested
 }
 
-func main() {
+// journal is the crash-safe record of completed experiments: one
+// checkpoint section per result, rewritten atomically as the sweep
+// progresses. Killing the process at any point loses at most the
+// experiments that had not yet been journaled.
+type journal struct {
+	mu    sync.Mutex
+	path  string
+	every int
+	scale string
+	csv   bool
+	done  map[string]outcome
+	dirty int // completions since the last save
+}
+
+func (j *journal) fingerprint() string {
+	return fmt.Sprintf("scale=%s csv=%v", j.scale, j.csv)
+}
+
+// record journals one completed experiment, saving every j.every
+// completions.
+func (j *journal) record(o outcome) error {
+	if j == nil || j.path == "" {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done[o.id] = o
+	j.dirty++
+	if j.dirty < j.every {
+		return nil
+	}
+	return j.saveLocked()
+}
+
+// flush forces a save if any completions are unjournaled.
+func (j *journal) flush() error {
+	if j == nil || j.path == "" {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dirty == 0 {
+		return nil
+	}
+	return j.saveLocked()
+}
+
+func (j *journal) saveLocked() error {
+	ids := make([]string, 0, len(j.done))
+	for id := range j.done {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	err := checkpoint.WriteFileAtomic(j.path, func(cw *checkpoint.Writer) error {
+		var meta checkpoint.Enc
+		meta.Str(j.fingerprint())
+		if err := cw.Section("journal.meta", meta.Bytes()); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			o := j.done[id]
+			var e checkpoint.Enc
+			e.Str(o.text)
+			e.I64(int64(o.elapsed))
+			if err := cw.Section("result."+id, e.Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		j.dirty = 0
+	}
+	return err
+}
+
+// load restores completed results from a journal file (or the newest
+// entry of a rotation base), skipping corrupt entries.
+func (j *journal) load(path string) error {
+	actual, skipped, err := checkpoint.LoadAny(path, func(snap *checkpoint.Snapshot) error {
+		md, err := snap.Dec("journal.meta")
+		if err != nil {
+			return err
+		}
+		if got, want := md.Str(), j.fingerprint(); got != want {
+			return md.Failf("journal run options %q != this run's %q", got, want)
+		}
+		if err := md.Close(); err != nil {
+			return err
+		}
+		for _, sec := range snap.Sections() {
+			id, ok := strings.CutPrefix(sec.Name, "result.")
+			if !ok {
+				continue
+			}
+			d := checkpoint.NewDec(sec.Name, sec.Offset, sec.Payload)
+			o := outcome{id: id, text: d.Str(), elapsed: time.Duration(d.I64())}
+			if err := d.Close(); err != nil {
+				return err
+			}
+			j.done[id] = o
+		}
+		return nil
+	})
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "experiments: skipping corrupt checkpoint: %v\n", s)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: resumed %d completed experiment(s) from %s\n", len(j.done), actual)
+	return nil
+}
+
+// render builds the exact byte stream the print loop emits for a
+// successful result.
+func render(res *experiments.Result, csv bool) string {
+	if !csv {
+		return res.String()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s: %s\n", res.ID, res.Title)
+	for _, t := range res.Tables {
+		sb.WriteString(t.CSV())
+	}
+	return sb.String()
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		runID    = flag.String("run", "", "experiment ID(s) to run, comma separated (default: all)")
 		scaleID  = flag.String("scale", "default", "scale preset: ci, default, paper")
@@ -42,6 +186,9 @@ func main() {
 		obsAddr  = flag.String("obs", "", "serve live metrics on this address (e.g. :9090) while experiments run")
 		obsIv    = flag.Duration("obs-interval", time.Second, "sampler interval for -obs/-obs-jsonl")
 		obsJSONL = flag.String("obs-jsonl", "", "append JSON-lines metric snapshots to this file (requires -obs or standalone)")
+		ckptPath = flag.String("checkpoint", "", "journal completed experiments to this file (crash-safe atomic writes)")
+		ckptN    = flag.Int("checkpoint-every", 1, "journal after every N completed experiments")
+		resume   = flag.String("resume", "", "resume from a journal file written by -checkpoint (falls back past corrupt rotation entries)")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -50,15 +197,18 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
 		}
-		return
+		return 0
 	}
 
 	scale, err := experiments.ParseScale(*scaleID)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *parallel < 1 {
 		*parallel = 1
+	}
+	if *ckptN < 1 {
+		*ckptN = 1
 	}
 
 	ids := experiments.IDs()
@@ -69,9 +219,21 @@ func main() {
 		}
 	}
 
+	jl := &journal{path: *ckptPath, every: *ckptN, scale: *scaleID, csv: *csv, done: make(map[string]outcome)}
+	if *resume != "" {
+		if err := jl.load(*resume); err != nil {
+			return fail(err)
+		}
+		if jl.path == "" {
+			// Resuming without a new journal path keeps journaling to
+			// the resumed file.
+			jl.path = *resume
+		}
+	}
+
 	stopProf, err := profFlags.Start()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer stopProf()
 
@@ -85,22 +247,53 @@ func main() {
 		if *obsJSONL != "" {
 			jsonl, err := os.Create(*obsJSONL)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			defer jsonl.Close()
 			sampler.JSONL = jsonl
+			// The sampler's final snapshot lands in Stop; a truncated
+			// JSONL tail must fail the run, not vanish into a deferred
+			// close with its error ignored.
+			defer func() {
+				if err := jsonl.Sync(); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: obs-jsonl sync:", err)
+				}
+				if err := jsonl.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: obs-jsonl close:", err)
+				}
+			}()
 		}
 		sampler.Start()
-		defer sampler.Stop()
+		defer func() {
+			sampler.Stop()
+			if err := sampler.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: obs-jsonl write:", err)
+			}
+		}()
 		if *obsAddr != "" {
 			srv, err := obs.Serve(*obsAddr, reg)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "obs: serving /metrics on %s\n", srv.Addr())
 		}
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops new experiments
+	// from starting (in-flight ones finish and are journaled); a second
+	// signal aborts immediately.
+	var quit atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		quit.Store(true)
+		fmt.Fprintln(os.Stderr, "experiments: shutdown requested; finishing in-flight experiments (^C again to abort)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: aborted")
+		os.Exit(130)
+	}()
+	defer signal.Stop(sigc)
 
 	// Run experiments concurrently (each independent, internally
 	// parallel up to the same bound), bounded by a semaphore; report in
@@ -110,42 +303,63 @@ func main() {
 	sem := make(chan struct{}, *parallel)
 	var wg sync.WaitGroup
 	for i, id := range ids {
+		if done, ok := jl.done[id]; ok {
+			done.id = id
+			results[i] = done
+			continue
+		}
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if quit.Load() {
+				results[i] = outcome{id: id, skipped: true}
+				return
+			}
 			start := time.Now()
 			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem, Obs: reg})
-			results[i] = outcome{id: id, res: res, err: err, elapsed: time.Since(start)}
+			o := outcome{id: id, err: err, elapsed: time.Since(start)}
+			if err == nil {
+				o.text = render(res, *csv)
+				if jerr := jl.record(o); jerr != nil {
+					fmt.Fprintln(os.Stderr, "experiments: checkpoint:", jerr)
+				}
+			}
+			results[i] = o
 		}(i, id)
 	}
 	wg.Wait()
+	if err := jl.flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: checkpoint:", err)
+	}
 
-	failures := 0
+	failures, skips := 0, 0
 	for _, o := range results {
+		if o.skipped {
+			skips++
+			continue
+		}
 		if o.err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", o.id, o.err)
 			failures++
 			continue
 		}
-		if *csv {
-			fmt.Printf("# %s: %s\n", o.res.ID, o.res.Title)
-			for _, t := range o.res.Tables {
-				fmt.Print(t.CSV())
-			}
-		} else {
-			fmt.Print(o.res.String())
-		}
-		fmt.Printf("(%s in %v)\n\n", o.res.ID, o.elapsed.Round(time.Millisecond))
+		fmt.Print(o.text)
+		fmt.Printf("(%s in %v)\n\n", o.id, o.elapsed.Round(time.Millisecond))
 	}
 	if failures > 0 {
-		stopProf() // fatal exits without running deferred calls
-		fatal(fmt.Errorf("%d experiment(s) failed", failures))
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failures)
+		return 1
 	}
+	if skips > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: interrupted; %d experiment(s) not run (resume with -resume %s)\n", skips, jl.path)
+		return 130
+	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return 1
 }

@@ -82,8 +82,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := b.Trace().DumpFormat(f, format); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	// Sync before close: a full disk or write-back failure must fail the
+	// run, not leave a silently truncated trace behind a zero exit code.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("captured %d bus references (%d dropped) from %d workload refs -> %s (%s)\n",
@@ -126,7 +135,6 @@ func convert(argv []string) {
 	if err != nil {
 		fatal(err)
 	}
-	defer outF.Close()
 	bw := bufio.NewWriter(outF)
 	w, err := tracefile.NewWriterFormat(bw, format)
 	if err != nil {
@@ -141,6 +149,14 @@ func convert(argv []string) {
 		fatal(err)
 	}
 	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	// Same truncation discipline as the capture path: sync and close
+	// errors are real data loss and must be reported.
+	if err := outF.Sync(); err != nil {
+		fatal(err)
+	}
+	if err := outF.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("converted %d records: %s -> %s (%s)\n", n, fs.Arg(0), fs.Arg(1), format)

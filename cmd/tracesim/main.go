@@ -9,18 +9,30 @@
 // simulator" column of Table 3 honest on modern hosts.
 //
 //	tracesim -l3 64MB -assoc 8 tpcc.trace
+//	tracesim -l3 8GB -checkpoint warm.ckpt -checkpoint-every 50000000 big.trace
+//	tracesim -l3 8GB -resume warm.ckpt big.trace
+//
+// With -checkpoint, SIGINT/SIGTERM stops the replay at the next batch
+// boundary and writes a final checkpoint; -resume skips the already
+// simulated prefix of the trace and continues from the saved cache
+// state, producing the same final statistics as an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"memories"
 	"memories/internal/addr"
 	"memories/internal/cache"
+	"memories/internal/checkpoint"
 	"memories/internal/coherence"
 	"memories/internal/core"
 	"memories/internal/obs"
@@ -29,28 +41,96 @@ import (
 	"memories/internal/tracefile"
 )
 
-func main() {
+// errInterrupted aborts the replay loop cleanly after a checkpoint.
+var errInterrupted = errors.New("interrupted")
+
+// replayState checkpoints the simulator plus its position in the trace.
+type replayState struct {
+	sim         *simbase.TraceSim
+	fingerprint string
+	pos         uint64 // records consumed from the trace (incl. filtered)
+}
+
+func (r *replayState) save(path string) error {
+	return checkpoint.WriteFileAtomic(path, func(cw *checkpoint.Writer) error {
+		var meta checkpoint.Enc
+		meta.Str(r.fingerprint)
+		if err := cw.Section("tracesim.meta", meta.Bytes()); err != nil {
+			return err
+		}
+		var pos checkpoint.Enc
+		pos.U64(r.pos)
+		if err := cw.Section("tracesim.pos", pos.Bytes()); err != nil {
+			return err
+		}
+		var st checkpoint.Enc
+		r.sim.SaveState(&st)
+		return cw.Section("tracesim.state", st.Bytes())
+	})
+}
+
+func (r *replayState) load(path string) (string, error) {
+	actual, skipped, err := checkpoint.LoadAny(path, func(snap *checkpoint.Snapshot) error {
+		md, err := snap.Dec("tracesim.meta")
+		if err != nil {
+			return err
+		}
+		if got := md.Str(); got != r.fingerprint {
+			return md.Failf("simulator configuration %q != this run's %q", got, r.fingerprint)
+		}
+		if err := md.Close(); err != nil {
+			return err
+		}
+		pd, err := snap.Dec("tracesim.pos")
+		if err != nil {
+			return err
+		}
+		r.pos = pd.U64()
+		if err := pd.Close(); err != nil {
+			return err
+		}
+		sd, err := snap.Dec("tracesim.state")
+		if err != nil {
+			return err
+		}
+		if err := r.sim.RestoreState(sd); err != nil {
+			return err
+		}
+		return sd.Close()
+	})
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "tracesim: skipping corrupt checkpoint: %v\n", s)
+	}
+	return actual, err
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		l3      = flag.String("l3", "64MB", "emulated cache size")
-		assoc   = flag.Int("assoc", 8, "associativity")
-		line    = flag.Int64("line", 128, "line size in bytes")
-		ncpu    = flag.Int("cpus", 8, "host CPUs covered by the trace")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "decode workers for v2 traces")
-		obsAddr = flag.String("obs", "", "serve live replay metrics on this address (e.g. :9090)")
+		l3       = flag.String("l3", "64MB", "emulated cache size")
+		assoc    = flag.Int("assoc", 8, "associativity")
+		line     = flag.Int64("line", 128, "line size in bytes")
+		ncpu     = flag.Int("cpus", 8, "host CPUs covered by the trace")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "decode workers for v2 traces")
+		obsAddr  = flag.String("obs", "", "serve live replay metrics on this address (e.g. :9090)")
+		ckptPath = flag.String("checkpoint", "", "write crash-safe replay checkpoints to this file")
+		ckptN    = flag.Uint64("checkpoint-every", 0, "checkpoint every N trace records (0: only on shutdown signal)")
+		resume   = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: tracesim [flags] <trace-file>"))
+		return fail(fmt.Errorf("usage: tracesim [flags] <trace-file>"))
 	}
 
 	size, err := memories.ParseSize(*l3)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	geom, err := addr.NewGeometry(size, *line, *assoc)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cpus := make([]int, *ncpu)
 	for i := range cpus {
@@ -63,19 +143,34 @@ func main() {
 		Protocol: coherence.MESI(),
 	}})
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	state := &replayState{
+		sim:         sim,
+		fingerprint: fmt.Sprintf("geom=%s cpus=%d policy=lru proto=mesi", geom, *ncpu),
+	}
+	if *resume != "" {
+		actual, err := state.load(*resume)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracesim: resumed at record %d from %s\n", state.pos, actual)
+		if *ckptPath == "" {
+			*ckptPath = *resume
+		}
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer f.Close()
 
 	stopProf, err := profFlags.Start()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
+	defer stopProf()
 
 	// Live observability: the simulator keeps plain struct counters, so
 	// the replay loop mirrors them into atomic registry counters after
@@ -86,27 +181,82 @@ func main() {
 		reg := obs.NewRegistry()
 		srv, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "obs: serving /metrics on %s\n", srv.Addr())
 		watch = newReplayWatch(reg)
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM checkpoints at the
+	// next batch boundary and stops; a second signal aborts outright.
+	var quit atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		quit.Store(true)
+		fmt.Fprintln(os.Stderr, "tracesim: shutdown requested; checkpointing at next batch (^C again to abort)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "tracesim: aborted")
+		os.Exit(130)
+	}()
+	defer signal.Stop(sigc)
+
+	resumeSkip := state.pos // records of the trace already simulated
+	var fileOff, nextCkpt uint64
+	if *ckptN > 0 {
+		nextCkpt = (state.pos/(*ckptN) + 1) * (*ckptN)
+	}
 	start := time.Now()
-	n, err := tracefile.ForEachBatch(f, *workers, func(recs []tracefile.Record) error {
+	_, err = tracefile.ForEachBatch(f, *workers, func(recs []tracefile.Record) error {
+		// Fast-forward through the already simulated prefix on resume.
+		if fileOff < resumeSkip {
+			skip := resumeSkip - fileOff
+			if skip >= uint64(len(recs)) {
+				fileOff += uint64(len(recs))
+				return nil
+			}
+			fileOff += skip
+			recs = recs[skip:]
+		}
 		sim.ProcessBatch(recs)
+		fileOff += uint64(len(recs))
+		state.pos = fileOff
 		if watch != nil {
 			watch.update(uint64(len(recs)), sim)
 		}
+		if *ckptPath != "" {
+			if *ckptN > 0 && fileOff >= nextCkpt {
+				nextCkpt = (fileOff/(*ckptN) + 1) * (*ckptN)
+				if err := state.save(*ckptPath); err != nil {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
+			}
+			if quit.Load() {
+				if err := state.save(*ckptPath); err != nil {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
+				return errInterrupted
+			}
+		} else if quit.Load() {
+			return errInterrupted
+		}
 		return nil
 	})
-	if err != nil {
-		stopProf()
-		fatal(err)
-	}
 	elapsed := time.Since(start)
-	stopProf()
+	if errors.Is(err, errInterrupted) {
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "tracesim: interrupted at record %d; resume with -resume %s\n", state.pos, *ckptPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "tracesim: interrupted at record %d (no -checkpoint; progress lost)\n", state.pos)
+		}
+		return 130
+	}
+	if err != nil {
+		return fail(err)
+	}
+	n := state.pos // total records simulated, including any resumed prefix
 
 	st := sim.NodeStats(0)
 	fmt.Printf("trace      %s: %d records (%d filtered)\n", flag.Arg(0), n, sim.Filtered)
@@ -119,6 +269,7 @@ func main() {
 		float64(n)/elapsed.Seconds()/1e6)
 	board := core.PaperRealTimeModel().Duration(n)
 	fmt.Printf("MemorIES would have processed this trace in %v (real-time model, §4.1)\n", board)
+	return 0
 }
 
 // replayWatch mirrors the simulator's plain counters into a registry so
@@ -156,7 +307,7 @@ func (w *replayWatch) update(batch uint64, sim *simbase.TraceSim) {
 	w.evictions.Store(st.Evictions)
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "tracesim:", err)
-	os.Exit(1)
+	return 1
 }

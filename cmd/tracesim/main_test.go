@@ -1,0 +1,140 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/checkpoint"
+	"memories/internal/coherence"
+	"memories/internal/simbase"
+	"memories/internal/tracefile"
+)
+
+func newTestSim() *simbase.TraceSim {
+	return simbase.MustNewTraceSim([]simbase.TraceNodeConfig{{
+		CPUs:     []int{0, 1, 2, 3},
+		Geometry: addr.MustGeometry(256*addr.KB, 128, 4),
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}})
+}
+
+// Save mid-replay, load into a twin: trace position and simulator
+// state must both survive, which is what makes a resumed replay finish
+// with bit-identical statistics.
+func TestReplayStateRoundTrip(t *testing.T) {
+	st := &replayState{sim: newTestSim(), fingerprint: "geom=256KB/128B/4-way cpus=4 policy=lru proto=mesi"}
+	a := uint64(99)
+	for i := 0; i < 5000; i++ {
+		a = a*6364136223846793005 + 1442695040888963407
+		st.sim.Process(tracefile.Record{Addr: ((a >> 16) % (1 << 21)) &^ 7, Cmd: bus.Read, SrcID: uint8(i % 4)})
+		st.pos++
+	}
+	path := filepath.Join(t.TempDir(), "replay.ckpt")
+	if err := st.save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := &replayState{sim: newTestSim(), fingerprint: st.fingerprint}
+	actual, err := st2.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual != path {
+		t.Fatalf("loaded %s, want %s", actual, path)
+	}
+	if st2.pos != st.pos {
+		t.Fatalf("pos %d != saved %d", st2.pos, st.pos)
+	}
+	if st2.sim.NodeStats(0) != st.sim.NodeStats(0) {
+		t.Fatalf("node stats differ after load:\n%+v\n%+v", st2.sim.NodeStats(0), st.sim.NodeStats(0))
+	}
+}
+
+// A checkpoint from a differently configured simulator is rejected via
+// the fingerprint, reported as corruption rather than silently applied.
+func TestReplayStateFingerprintMismatch(t *testing.T) {
+	st := &replayState{sim: newTestSim(), fingerprint: "geom=A"}
+	path := filepath.Join(t.TempDir(), "replay.ckpt")
+	if err := st.save(path); err != nil {
+		t.Fatal(err)
+	}
+	st2 := &replayState{sim: newTestSim(), fingerprint: "geom=B"}
+	if _, err := st2.load(path); err == nil {
+		t.Fatal("mismatched fingerprint loaded cleanly")
+	} else if _, ok := err.(*checkpoint.CorruptError); !ok {
+		t.Fatalf("err = %T %v, want *checkpoint.CorruptError", err, err)
+	}
+}
+
+// runCLI invokes the binary's entry point in-process with a fresh flag
+// set, so coverage sees the real decode-replay-report plumbing.
+func runCLI(t *testing.T, args ...string) int {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	defer func() { os.Args, flag.CommandLine = oldArgs, oldFlags }()
+	flag.CommandLine = flag.NewFlagSet("tracesim", flag.ContinueOnError)
+	os.Args = append([]string{"tracesim"}, args...)
+	return run()
+}
+
+func writeTestTrace(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tracefile.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := uint64(7)
+	for i := 0; i < n; i++ {
+		a = a*6364136223846793005 + 1442695040888963407
+		rec := tracefile.Record{Addr: ((a >> 16) % (1 << 21)) &^ 7, Cmd: bus.Read, SrcID: uint8(i % 4)}
+		if i%3 == 0 {
+			rec.Cmd = bus.RWITM
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// End to end: a checkpointed replay followed by a resume from its final
+// checkpoint, which fast-forwards past every consumed record.
+func TestRunCheckpointAndResume(t *testing.T) {
+	trace := writeTestTrace(t, 30_000)
+	ckpt := filepath.Join(t.TempDir(), "replay.ckpt")
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-checkpoint", ckpt, "-checkpoint-every", "10000", trace); code != 0 {
+		t.Fatalf("checkpointed replay exited %d", code)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing after replay: %v", err)
+	}
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-resume", ckpt, trace); code != 0 {
+		t.Fatalf("resumed replay exited %d", code)
+	}
+}
+
+func TestRunUsageError(t *testing.T) {
+	if code := runCLI(t); code == 0 {
+		t.Fatal("missing trace argument accepted")
+	}
+	if code := runCLI(t, "-l3", "not-a-size", "x.trace"); code == 0 {
+		t.Fatal("bad -l3 accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package memories
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	// "(fig8 in 7.522s)" — elapsed is wall clock, never comparable.
+	elapsedRe = regexp.MustCompile(`\((\S+) in [^)]+\)`)
+	// table3 data row: vectors, measured C-sim time, modeled board time,
+	// speedup. Columns 2 and 4 are machine-dependent.
+	table3Re = regexp.MustCompile(`^(\d+) (\S+ \S+) (\S+ \S+) (\S+x)$`)
+)
+
+// normalizeExperimentOutput strips the wall-clock content (elapsed
+// stamps, table3's measured columns, and the alignment padding that
+// depends on them) so uninterrupted and killed-and-resumed runs can be
+// compared byte-for-byte.
+func normalizeExperimentOutput(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, line := range lines {
+		line = strings.Join(strings.Fields(line), " ")
+		if strings.Trim(line, "-") == "" && line != "" {
+			line = "---"
+		}
+		line = elapsedRe.ReplaceAllString(line, "($1 in <elapsed>)")
+		line = table3Re.ReplaceAllString(line, "$1 <wall-clock> $3 <speedup>")
+		lines[i] = line
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestKillResumeExperiments is the crash-safety oracle at the process
+// level: a sweep killed with SIGKILL mid-run and resumed from its
+// journal must print exactly what the uninterrupted sweep prints. The
+// experiment order puts the fast one (table3) first so its journal
+// entry lands early, leaving the long fig8 run as the kill window.
+func TestKillResumeExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash-resume test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/experiments")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	args := []string{"-run", "table3,fig8", "-scale", "ci", "-parallel", "1"}
+
+	ref, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	journal := filepath.Join(dir, "journal.ckpt")
+	killed := exec.Command(bin, append(args, "-checkpoint", journal)...)
+	killed.Stdout, killed.Stderr = nil, nil
+	if err := killed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill as soon as the first experiment has been journaled. If the
+	// process somehow finishes first, the resume below degrades to a
+	// pure journal replay, which must still match.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(journal); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			killed.Process.Kill()
+			killed.Wait()
+			t.Fatal("journal never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killed.Process.Kill()
+	killed.Wait()
+
+	resumed, err := exec.Command(bin, append(args, "-resume", journal)...).Output()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	got, want := normalizeExperimentOutput(string(resumed)), normalizeExperimentOutput(string(ref))
+	if got != want {
+		t.Fatalf("killed+resumed output diverged from uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", got, want)
+	}
+}

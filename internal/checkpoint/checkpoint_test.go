@@ -1,0 +1,354 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTwoSections writes a representative two-section checkpoint.
+func buildTwoSections(w *Writer) error {
+	var e Enc
+	e.U64(0xdeadbeef)
+	e.Str("hello")
+	e.I64Slice([]int64{-1, 0, 7})
+	if err := w.Section("alpha", e.Bytes()); err != nil {
+		return err
+	}
+	var e2 Enc
+	e2.Bool(true)
+	e2.F64(3.25)
+	e2.U8Slice([]byte{1, 2, 3})
+	return w.Section("beta", e2.Bytes())
+}
+
+func encodeTwoSections(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTwoSections(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	snap, err := Decode(encodeTwoSections(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != FormatVersion {
+		t.Fatalf("version = %d, want %d", snap.Version, FormatVersion)
+	}
+	if len(snap.Sections()) != 2 {
+		t.Fatalf("sections = %d, want 2", len(snap.Sections()))
+	}
+	d, err := snap.Dec("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.U64(); got != 0xdeadbeef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	sl := d.I64Slice()
+	if len(sl) != 3 || sl[0] != -1 || sl[2] != 7 {
+		t.Errorf("I64Slice = %v", sl)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := snap.Dec("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Bool() || d2.F64() != 3.25 {
+		t.Error("beta fields mismatch")
+	}
+	if got := d2.U8Slice(); len(got) != 3 || got[1] != 2 {
+		t.Errorf("U8Slice = %v", got)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	snap, err := Decode(encodeTwoSections(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = snap.Section("gamma")
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "gamma" {
+		t.Fatalf("missing section: err = %v", err)
+	}
+}
+
+// TestCorruptSectionReported flips a payload byte and requires the
+// error to name the section and its file offset.
+func TestCorruptSectionReported(t *testing.T) {
+	b := encodeTwoSections(t)
+	good, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := good.Section("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside beta's payload: beta's frame starts at
+	// beta.Offset; the payload begins after nameLen(1)+name+len(8)+crc(4).
+	mut := append([]byte(nil), b...)
+	payloadStart := beta.Offset + 1 + int64(len("beta")) + 12
+	mut[payloadStart] ^= 0xff
+	_, err = Decode(mut)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+	if ce.Section != "beta" {
+		t.Errorf("Section = %q, want beta", ce.Section)
+	}
+	if ce.Offset != beta.Offset {
+		t.Errorf("Offset = %d, want %d", ce.Offset, beta.Offset)
+	}
+	if !strings.Contains(ce.Reason, "CRC") {
+		t.Errorf("Reason = %q, want CRC mismatch", ce.Reason)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	b := encodeTwoSections(t)
+	for _, cut := range []int{0, 5, 12, len(b) / 2, len(b) - 1} {
+		_, err := Decode(b[:cut])
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("Decode(b[:%d]) err = %v, want *CorruptError", cut, err)
+		}
+	}
+	// Trailing garbage is also corruption.
+	_, err := Decode(append(append([]byte(nil), b...), 0x55))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Errorf("trailing byte: err = %v, want *CorruptError", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	b := encodeTwoSections(t)
+	mut := append([]byte(nil), b...)
+	mut[8] = 0x99
+	_, err := Decode(mut)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "version") {
+		t.Fatalf("err = %v, want version CorruptError", err)
+	}
+}
+
+func TestWriterRejectsDuplicates(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("x", nil); err == nil {
+		t.Fatal("duplicate section accepted")
+	}
+	if err := w.Section("", nil); err == nil {
+		t.Fatal("empty section name accepted")
+	}
+}
+
+func TestDecStickyErrors(t *testing.T) {
+	d := NewDec("s", 0, []byte{1, 2})
+	_ = d.U64() // past end: latches
+	if d.Err() == nil {
+		t.Fatal("no error after reading past end")
+	}
+	// Subsequent reads stay zero without panicking.
+	if d.U32() != 0 || d.Str() != "" || d.U64Slice() != nil {
+		t.Error("accessor returned non-zero after latched error")
+	}
+	// Oversized slice length must not allocate.
+	var e Enc
+	e.U32(1 << 30)
+	d2 := NewDec("s", 0, e.Bytes())
+	if got := d2.U64Slice(); got != nil || d2.Err() == nil {
+		t.Errorf("oversized slice: got %v, err %v", got, d2.Err())
+	}
+	// Unread bytes at Close are corruption.
+	d3 := NewDec("s", 0, []byte{1, 2, 3})
+	d3.U8()
+	if d3.Close() == nil {
+		t.Error("Close accepted unread bytes")
+	}
+}
+
+// TestWriteFileAtomicPreservesOld crashes the build mid-way and checks
+// the previous checkpoint survives untouched.
+func TestWriteFileAtomicPreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := WriteFileAtomic(path, buildTwoSections); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = WriteFileAtomic(path, func(w *Writer) error {
+		_ = w.Section("partial", []byte("junk"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(old, now) {
+		t.Fatal("failed write clobbered the previous checkpoint")
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 1 {
+		t.Fatalf("temp file left behind: %v", des)
+	}
+}
+
+func TestRotationSavePrune(t *testing.T) {
+	rot := &Rotation{Dir: t.TempDir(), Base: "board", Keep: 2}
+	var paths []string
+	for i := 0; i < 4; i++ {
+		p, err := rot.Save(buildTwoSections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// Only the newest 2 remain.
+	for i, p := range paths {
+		_, err := os.Stat(p)
+		if i < 2 && err == nil {
+			t.Errorf("old entry %s not pruned", p)
+		}
+		if i >= 2 && err != nil {
+			t.Errorf("entry %s missing: %v", p, err)
+		}
+	}
+	latest, err := rot.Latest()
+	if err != nil || latest != paths[3] {
+		t.Fatalf("Latest = %q, %v; want %q", latest, err, paths[3])
+	}
+}
+
+// TestRotationFallback corrupts the newest entry and requires
+// LoadLatest to fall back to the previous one, reporting the skip.
+func TestRotationFallback(t *testing.T) {
+	rot := &Rotation{Dir: t.TempDir(), Base: "board", Keep: 3}
+	if _, err := rot.Save(buildTwoSections); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := rot.Save(buildTwoSections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest file's mid-section bytes.
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var applied int
+	path, skipped, err := rot.LoadLatest(func(s *Snapshot) error {
+		applied++
+		_, err := s.Section("alpha")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == newest {
+		t.Fatal("restored the corrupt newest entry")
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped = %v, want 1 entry", skipped)
+	}
+	var ce *CorruptError
+	if !errors.As(skipped[0], &ce) || ce.Path != newest {
+		t.Errorf("skipped[0] = %v, want CorruptError for %s", skipped[0], newest)
+	}
+	if applied != 1 {
+		t.Errorf("apply ran %d times, want 1", applied)
+	}
+}
+
+// TestRotationFallbackOnApplyReject: an entry that decodes but fails a
+// semantic check (wrong fingerprint) also falls back.
+func TestRotationFallbackOnApplyReject(t *testing.T) {
+	rot := &Rotation{Dir: t.TempDir(), Base: "board"}
+	if _, err := rot.Save(buildTwoSections); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rot.Save(buildTwoSections); err != nil {
+		t.Fatal(err)
+	}
+	first := true
+	path, skipped, err := rot.LoadLatest(func(s *Snapshot) error {
+		if first {
+			first = false
+			return corruptf("meta", -1, "config fingerprint mismatch")
+		}
+		return nil
+	})
+	if err != nil || len(skipped) != 1 {
+		t.Fatalf("path=%q skipped=%v err=%v", path, skipped, err)
+	}
+}
+
+func TestLoadAny(t *testing.T) {
+	dir := t.TempDir()
+	exact := filepath.Join(dir, "one.ckpt")
+	if err := WriteFileAtomic(exact, buildTwoSections); err != nil {
+		t.Fatal(err)
+	}
+	actual, skipped, err := LoadAny(exact, func(*Snapshot) error { return nil })
+	if err != nil || actual != exact || len(skipped) != 0 {
+		t.Fatalf("exact: actual=%q skipped=%v err=%v", actual, skipped, err)
+	}
+	// Rotation-base fallback: no file named "board", but board-*.ckpt.
+	rot := &Rotation{Dir: dir, Base: "board"}
+	p, err := rot.Save(buildTwoSections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, _, err = LoadAny(filepath.Join(dir, "board"), func(*Snapshot) error { return nil })
+	if err != nil || actual != p {
+		t.Fatalf("rotation: actual=%q err=%v, want %q", actual, err, p)
+	}
+	if _, _, err := LoadAny(filepath.Join(dir, "absent"), func(*Snapshot) error { return nil }); err == nil {
+		t.Fatal("absent path restored")
+	}
+}

@@ -1,0 +1,232 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Enc builds a section payload. All integers are little-endian; strings
+// and slices carry a u32 length prefix. The zero value is ready to use.
+type Enc struct {
+	b []byte
+}
+
+// Bytes returns the accumulated payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.b = append(e.b, v) }
+
+// Bool appends a byte 0/1.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// I64 appends an int64 as its two's-complement bits.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bits (bit-exact round trip).
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// U64Slice appends a length-prefixed []uint64.
+func (e *Enc) U64Slice(v []uint64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.U64(x)
+	}
+}
+
+// I64Slice appends a length-prefixed []int64.
+func (e *Enc) I64Slice(v []int64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+
+// U8Slice appends a length-prefixed []uint8.
+func (e *Enc) U8Slice(v []uint8) {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// Dec reads a section payload with sticky-error semantics: the first
+// failure (read past end, oversized slice) latches a *CorruptError and
+// every subsequent accessor returns zero values. Callers check Err()
+// once at the end instead of after every field.
+type Dec struct {
+	section string
+	base    int64 // file offset of the section, for error reporting
+	b       []byte
+	off     int
+	err     *CorruptError
+}
+
+// NewDec wraps a payload. section and base feed error reports.
+func NewDec(section string, base int64, payload []byte) *Dec {
+	return &Dec{section: section, base: base, b: payload}
+}
+
+// Err returns the latched corruption error, if any.
+func (d *Dec) Err() error {
+	if d.err != nil {
+		return d.err
+	}
+	return nil
+}
+
+// Failf latches a caller-detected mismatch (wrong fingerprint, value
+// out of range) as a CorruptError attributed to this section.
+func (d *Dec) Failf(format string, args ...any) *CorruptError {
+	if d.err == nil {
+		d.err = corruptf(d.section, d.base, format, args...)
+	}
+	return d.err
+}
+
+// Remaining returns the number of unread payload bytes.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }
+
+// take returns the next n bytes, or latches truncation.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > d.Remaining() {
+		d.Failf("payload truncated: need %d bytes at payload offset %d, have %d", n, d.off, d.Remaining())
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a 0/1 byte; anything else is corruption.
+func (d *Dec) Bool() bool {
+	v := d.U8()
+	if d.err == nil && v > 1 {
+		d.Failf("invalid bool byte %d", v)
+	}
+	return v == 1
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// sliceLen reads a length prefix and guards it against the remaining
+// payload so corrupt lengths cannot drive huge allocations.
+func (d *Dec) sliceLen(elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (elemSize > 0 && n > d.Remaining()/elemSize) {
+		d.Failf("slice length %d exceeds remaining payload (%d bytes)", n, d.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.sliceLen(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// U64Slice reads a length-prefixed []uint64.
+func (d *Dec) U64Slice() []uint64 {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = d.U64()
+	}
+	return v
+}
+
+// I64Slice reads a length-prefixed []int64.
+func (d *Dec) I64Slice() []int64 {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = d.I64()
+	}
+	return v
+}
+
+// U8Slice reads a length-prefixed []uint8 (copied out of the payload).
+func (d *Dec) U8Slice() []uint8 {
+	n := d.sliceLen(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	v := make([]uint8, n)
+	copy(v, b)
+	return v
+}
+
+// Close verifies the payload was fully consumed and returns the final
+// status. Unread bytes mean the writer and reader disagree about the
+// section layout — corruption from the restorer's point of view.
+func (d *Dec) Close() error {
+	if d.err == nil && d.Remaining() != 0 {
+		d.Failf("%d unread bytes at end of section", d.Remaining())
+	}
+	return d.Err()
+}

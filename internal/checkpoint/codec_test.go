@@ -1,0 +1,182 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every codec type round trips bit-exactly through an Enc/Dec pair.
+func TestCodecRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xDEADBEEF)
+	e.U64(1 << 63)
+	e.I64(-42)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.Str("hello, 世界")
+	e.Str("")
+	e.U64Slice([]uint64{1, 1 << 40, 0})
+	e.U64Slice(nil)
+	e.I64Slice([]int64{-1, 0, 1 << 50})
+	e.U8Slice([]byte{9, 8, 7})
+
+	d := NewDec("codec", 0, e.Bytes())
+	if got := d.U8(); got != 0xAB {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<63 {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("F64 inf = %v", got)
+	}
+	if got := d.Str(); got != "hello, 世界" {
+		t.Fatalf("Str = %q", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Fatalf("empty Str = %q", got)
+	}
+	u := d.U64Slice()
+	if len(u) != 3 || u[0] != 1 || u[1] != 1<<40 || u[2] != 0 {
+		t.Fatalf("U64Slice = %v", u)
+	}
+	if got := d.U64Slice(); len(got) != 0 {
+		t.Fatalf("nil U64Slice = %v", got)
+	}
+	i := d.I64Slice()
+	if len(i) != 3 || i[0] != -1 || i[2] != 1<<50 {
+		t.Fatalf("I64Slice = %v", i)
+	}
+	b := d.U8Slice()
+	if len(b) != 3 || b[0] != 9 {
+		t.Fatalf("U8Slice = %v", b)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+// CorruptError reports the section name, file offset, and reason — the
+// three things a postmortem needs.
+func TestCorruptErrorMessage(t *testing.T) {
+	d := NewDec("node0.cache", 4096, nil)
+	err := d.Failf("bad tag word %d", 7)
+	msg := err.Error()
+	for _, want := range []string{"node0.cache", "4096", "bad tag word 7"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	if err.Section != "node0.cache" || err.Offset != 4096 {
+		t.Fatalf("fields not populated: %+v", err)
+	}
+}
+
+// Snapshot.Has distinguishes present sections from absent ones without
+// consuming them.
+func TestSnapshotHas(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Enc
+	e.U64(1)
+	if err := w.Section("alpha", e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Has("alpha") {
+		t.Fatal("Has(alpha) = false for a present section")
+	}
+	if snap.Has("omega") {
+		t.Fatal("Has(omega) = true for an absent section")
+	}
+}
+
+// Sequence numbers order the rotation, not filename order: an unpadded
+// seq 9 is older than seq 10 even though "…-9" sorts after "…-10".
+func TestRotationSequenceOrdering(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v uint64) {
+		t.Helper()
+		err := WriteFileAtomic(filepath.Join(dir, name), func(w *Writer) error {
+			var e Enc
+			e.U64(v)
+			return w.Section("v", e.Bytes())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("ck-9.ckpt", 9)
+	write("ck-10.ckpt", 10)
+
+	rot := &Rotation{Dir: dir, Base: "ck"}
+	latest, err := rot.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != "ck-10.ckpt" {
+		t.Fatalf("Latest = %s, want ck-10.ckpt", latest)
+	}
+	var got uint64
+	path, skipped, err := LoadAny(filepath.Join(dir, "ck"), func(s *Snapshot) error {
+		d, err := s.Dec("v")
+		if err != nil {
+			return err
+		}
+		got = d.U64()
+		return d.Err()
+	})
+	if err != nil || len(skipped) != 0 {
+		t.Fatalf("LoadAny: path=%s skipped=%v err=%v", path, skipped, err)
+	}
+	if got != 10 {
+		t.Fatalf("restored seq %d, want 10", got)
+	}
+}
+
+// LoadAny on an exact path whose bytes are corrupt reports the file
+// rather than falling back to a rotation that does not exist.
+func TestLoadAnyExactFileCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "solo.ckpt")
+	if err := os.WriteFile(path, []byte("MIESCKPTgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadAny(path, func(*Snapshot) error { return nil })
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+}

@@ -1,0 +1,169 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rotation manages a directory of numbered checkpoints so that a save
+// never clobbers the last good one and a restore can fall back past a
+// corrupt newest entry. Files are named <Base>-00000001.ckpt and so on;
+// Save writes the next sequence number and prunes beyond Keep.
+type Rotation struct {
+	Dir  string
+	Base string
+	Keep int // how many entries to retain; <=0 means 3
+}
+
+const rotationExt = ".ckpt"
+
+// keep returns the effective retention count.
+func (r *Rotation) keep() int {
+	if r.Keep <= 0 {
+		return 3
+	}
+	return r.Keep
+}
+
+// entries returns the rotation's files sorted by sequence, oldest
+// first, with their sequence numbers.
+func (r *Rotation) entries() (paths []string, seqs []int, err error) {
+	des, err := os.ReadDir(r.Dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	prefix := r.Base + "-"
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, rotationExt) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), rotationExt))
+		if err != nil || seq < 0 {
+			continue
+		}
+		paths = append(paths, filepath.Join(r.Dir, name))
+		seqs = append(seqs, seq)
+	}
+	sort.Sort(&bySeq{paths, seqs})
+	return paths, seqs, nil
+}
+
+type bySeq struct {
+	paths []string
+	seqs  []int
+}
+
+func (s *bySeq) Len() int           { return len(s.seqs) }
+func (s *bySeq) Less(i, j int) bool { return s.seqs[i] < s.seqs[j] }
+func (s *bySeq) Swap(i, j int) {
+	s.paths[i], s.paths[j] = s.paths[j], s.paths[i]
+	s.seqs[i], s.seqs[j] = s.seqs[j], s.seqs[i]
+}
+
+// Save writes the next checkpoint in the sequence via WriteFileAtomic
+// and prunes the oldest entries beyond Keep. It returns the path of the
+// new checkpoint.
+func (r *Rotation) Save(build func(*Writer) error) (string, error) {
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return "", err
+	}
+	paths, seqs, err := r.entries()
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1] + 1
+	}
+	path := filepath.Join(r.Dir, fmt.Sprintf("%s-%08d%s", r.Base, next, rotationExt))
+	if err := WriteFileAtomic(path, build); err != nil {
+		return "", err
+	}
+	// Prune oldest entries beyond the retention count (the new file
+	// makes len(paths)+1 total). Pruning is best-effort.
+	for excess := len(paths) + 1 - r.keep(); excess > 0; excess-- {
+		os.Remove(paths[0])
+		paths = paths[1:]
+	}
+	return path, nil
+}
+
+// Latest returns the newest checkpoint path, or "" if none exist.
+func (r *Rotation) Latest() (string, error) {
+	paths, _, err := r.entries()
+	if err != nil || len(paths) == 0 {
+		return "", err
+	}
+	return paths[len(paths)-1], nil
+}
+
+// LoadLatest walks the rotation newest-first, skipping entries that
+// fail to decode or that apply rejects with a *CorruptError, and
+// returns the path that restored successfully plus the corrupt entries
+// it skipped. Non-corruption errors from apply abort immediately.
+func (r *Rotation) LoadLatest(apply func(*Snapshot) error) (path string, skipped []error, err error) {
+	paths, _, err := r.entries()
+	if err != nil {
+		return "", nil, err
+	}
+	for i := len(paths) - 1; i >= 0; i-- {
+		snap, err := ReadFile(paths[i])
+		if err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				skipped = append(skipped, err)
+				continue
+			}
+			return "", skipped, err
+		}
+		if err := apply(snap); err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				if ce.Path == "" {
+					ce.Path = paths[i]
+				}
+				skipped = append(skipped, err)
+				continue
+			}
+			return "", skipped, err
+		}
+		return paths[i], skipped, nil
+	}
+	if len(skipped) > 0 {
+		return "", skipped, fmt.Errorf("checkpoint: all %d rotation entries under %s corrupt (newest: %v)",
+			len(skipped), filepath.Join(r.Dir, r.Base), skipped[0])
+	}
+	return "", nil, fmt.Errorf("checkpoint: no rotation entries under %s", filepath.Join(r.Dir, r.Base))
+}
+
+// LoadAny resolves a user-supplied -resume argument: an exact file path
+// restores that file; a path with no such file is treated as a rotation
+// base (dir + base name) and the newest restorable entry wins, falling
+// back past corrupt ones. It returns the path actually restored and the
+// corrupt entries skipped along the way.
+func LoadAny(path string, apply func(*Snapshot) error) (actual string, skipped []error, err error) {
+	if st, err := os.Stat(path); err == nil && !st.IsDir() {
+		snap, err := ReadFile(path)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := apply(snap); err != nil {
+			if ce, ok := err.(*CorruptError); ok && ce.Path == "" {
+				ce.Path = path
+			}
+			return "", nil, err
+		}
+		return path, nil, nil
+	}
+	rot := &Rotation{Dir: filepath.Dir(path), Base: strings.TrimSuffix(filepath.Base(path), rotationExt)}
+	return rot.LoadLatest(apply)
+}

@@ -1,0 +1,79 @@
+package console
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The default hooks snapshot and restore the bound board: stats dumped
+// after a checkpoint/restore cycle into a fresh board match the
+// original's.
+func TestConsoleCheckpointRestoreCommands(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "board.ckpt")
+	b := testBoard(t)
+	feed(b, 500)
+	out := run(t, b, "checkpoint "+path)
+	if !strings.Contains(out, "checkpoint written to "+path) {
+		t.Fatalf("output %q missing confirmation", out)
+	}
+	want := run(t, b, "stats")
+
+	b2 := testBoard(t)
+	out = run(t, b2, "restore "+path, "stats")
+	if !strings.Contains(out, "state restored from "+path) {
+		t.Fatalf("output %q missing confirmation", out)
+	}
+	stats := run(t, b2, "stats")
+	if stats != want {
+		t.Fatalf("restored stats differ:\n%s\nvs\n%s", stats, want)
+	}
+}
+
+// Command-syntax and I/O failures surface as errors, not panics.
+func TestConsoleCheckpointErrors(t *testing.T) {
+	b := testBoard(t)
+	var out bytes.Buffer
+	c := New(b, &out)
+	if err := c.Execute("checkpoint"); err == nil {
+		t.Fatal("bare checkpoint accepted")
+	}
+	if err := c.Execute("restore"); err == nil {
+		t.Fatal("bare restore accepted")
+	}
+	if err := c.Execute("restore " + filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("restore of a missing file succeeded")
+	}
+}
+
+// SetCheckpoint swaps in session-scope hooks; nil arguments keep the
+// defaults.
+func TestConsoleSetCheckpoint(t *testing.T) {
+	b := testBoard(t)
+	var out bytes.Buffer
+	c := New(b, &out)
+	var saved, loaded string
+	c.SetCheckpoint(
+		func(path string) error { saved = path; return nil },
+		func(path string) error { loaded = path; return nil },
+	)
+	if err := c.Execute("checkpoint one.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Execute("restore two.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if saved != "one.ckpt" || loaded != "two.ckpt" {
+		t.Fatalf("hooks saw (%q, %q)", saved, loaded)
+	}
+
+	c.SetCheckpoint(nil, func(string) error { return fmt.Errorf("boom") })
+	if saved != "one.ckpt" {
+		t.Fatal("nil save hook clobbered the previous one")
+	}
+	if err := c.Execute("restore x"); err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom from replacement hook", err)
+	}
+}

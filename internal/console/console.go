@@ -19,6 +19,7 @@ import (
 
 	"memories/internal/addr"
 	"memories/internal/cache"
+	"memories/internal/checkpoint"
 	"memories/internal/coherence"
 	"memories/internal/core"
 )
@@ -33,11 +34,45 @@ type Console struct {
 	// obs binds the live-observability commands (metrics, watch,
 	// trace on/off); nil until SetObs.
 	obs *obsBinding
+	// saveCkpt/loadCkpt back the checkpoint/restore commands. They
+	// default to board-only snapshots; SetCheckpoint replaces them with
+	// richer hooks (e.g. full-session snapshots from cmd/console).
+	saveCkpt func(path string) error
+	loadCkpt func(path string) error
 }
 
 // New creates a console for the given board, writing replies to out.
 func New(b *core.Board, out io.Writer) *Console {
-	return &Console{board: b, out: out}
+	c := &Console{board: b, out: out}
+	c.saveCkpt = b.WriteCheckpointFile
+	c.loadCkpt = func(path string) error {
+		snap, err := checkpoint.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rep, err := core.RestoreBoard(b, snap)
+		if err != nil {
+			return err
+		}
+		if rep.ECCCorrected+rep.ECCInvalidated > 0 {
+			fmt.Fprintf(c.out, "restore: ECC repaired %d word(s), invalidated %d\n",
+				rep.ECCCorrected, rep.ECCInvalidated)
+		}
+		return nil
+	}
+	return c
+}
+
+// SetCheckpoint replaces the board-only checkpoint/restore hooks, so an
+// embedding session can snapshot more than the board (host, workload,
+// injector state).
+func (c *Console) SetCheckpoint(save, load func(path string) error) {
+	if save != nil {
+		c.saveCkpt = save
+	}
+	if load != nil {
+		c.loadCkpt = load
+	}
 }
 
 // Run reads commands from r until EOF or the "quit" command.
@@ -107,6 +142,24 @@ func (c *Console) Execute(line string) error {
 		corrected, invalidated := c.board.ScrubNow()
 		fmt.Fprintf(c.out, "scrub: %d corrected, %d invalidated\n", corrected, invalidated)
 		return nil
+	case "checkpoint":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: checkpoint <path>")
+		}
+		if err := c.saveCkpt(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "checkpoint written to %s\n", fields[1])
+		return nil
+	case "restore":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: restore <path>")
+		}
+		if err := c.loadCkpt(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "state restored from %s\n", fields[1])
+		return nil
 	case "metrics":
 		return c.metrics(fields[1:])
 	case "watch":
@@ -146,6 +199,8 @@ func (c *Console) help() {
   loadmap <i>                   load a protocol map file; end with "end"
   reset-counters                clear the counter bank
   scrub                         run an ECC scrub pass over every directory
+  checkpoint <path>             write a crash-safe state snapshot
+  restore <path>                restore a snapshot written by checkpoint
   metrics [prefix]              dump the live metrics registry (needs -obs)
   watch <prefix> [n] [ms]       sample a metric prefix n times every ms
   trace                         trace-capture status
@@ -388,8 +443,17 @@ func (c *Console) trace(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := capture.Dump(f); err != nil {
+			f.Close()
+			return err
+		}
+		// A close/sync failure here means a silently truncated trace
+		// file, so both must surface as command errors.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(c.out, "dumped %d records to %s\n", capture.Len(), args[1])

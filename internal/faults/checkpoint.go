@@ -1,0 +1,34 @@
+package faults
+
+import "memories/internal/checkpoint"
+
+// SaveState serializes the injector's RNG position and, when divergence
+// detection is enabled, the shadow simulator's full state. The fault
+// counters live in the board's bank and travel with the board sections.
+// lastForwarded is response-phase scratch; a checkpoint is only taken
+// between transactions, where it is dead state.
+func (inj *Injector) SaveState(e *checkpoint.Enc) {
+	e.U64(inj.rng.State())
+	e.Bool(inj.shadow != nil)
+	if inj.shadow != nil {
+		inj.shadow.SaveState(e)
+	}
+}
+
+// RestoreState loads an injector checkpoint. The snapshot must have
+// been taken with the same Shadow setting.
+func (inj *Injector) RestoreState(d *checkpoint.Dec) error {
+	inj.rng.SetState(d.U64())
+	hasShadow := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasShadow != (inj.shadow != nil) {
+		return d.Failf("shadow presence %v != configured %v", hasShadow, inj.shadow != nil)
+	}
+	inj.lastForwarded = false
+	if inj.shadow != nil {
+		return inj.shadow.RestoreState(d)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"memories/internal/checkpoint"
+	"memories/internal/core"
+)
+
+// Round trip with the shadow model enabled: RNG position and golden
+// state land in an identically configured twin, and the twin's shadow
+// agrees with the restored board (no false divergence on resume).
+func TestInjectorCheckpointRoundTrip(t *testing.T) {
+	fcfg := Config{Seed: 11, DropProb: 0.01, DupProb: 0.01, Shadow: true}
+	_, inj, _ := run(t, testBoardConfig(), fcfg, 5000)
+
+	var e checkpoint.Enc
+	inj.SaveState(&e)
+
+	board2, err := core.NewBoard(testBoardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, err := New(board2, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2.lastForwarded = true // restore must clear response-phase scratch
+	d := checkpoint.NewDec("faults", 0, e.Bytes())
+	if err := inj2.RestoreState(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d unread payload bytes", d.Remaining())
+	}
+	if inj2.rng.State() != inj.rng.State() {
+		t.Fatalf("rng state %#x != saved %#x", inj2.rng.State(), inj.rng.State())
+	}
+	if inj2.lastForwarded {
+		t.Fatal("lastForwarded survived restore; it is dead state between transactions")
+	}
+	if inj2.Shadow() == nil {
+		t.Fatal("shadow model missing after restore")
+	}
+}
+
+// The no-shadow variant exercises the short encoding.
+func TestInjectorCheckpointRoundTripNoShadow(t *testing.T) {
+	fcfg := Config{Seed: 11, DropProb: 0.01}
+	_, inj, _ := run(t, testBoardConfig(), fcfg, 2000)
+
+	var e checkpoint.Enc
+	inj.SaveState(&e)
+
+	board2, err := core.NewBoard(testBoardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, err := New(board2, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj2.RestoreState(checkpoint.NewDec("faults", 0, e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if inj2.rng.State() != inj.rng.State() {
+		t.Fatalf("rng state %#x != saved %#x", inj2.rng.State(), inj.rng.State())
+	}
+}
+
+// A snapshot taken without divergence detection cannot restore into an
+// injector that has it (and vice versa): the shadow flag is part of the
+// configuration fingerprint.
+func TestInjectorRestoreShadowMismatch(t *testing.T) {
+	_, inj, _ := run(t, testBoardConfig(), Config{Seed: 3}, 1000)
+	var e checkpoint.Enc
+	inj.SaveState(&e)
+
+	board2, err := core.NewBoard(testBoardConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj2, err := New(board2, Config{Seed: 3, Shadow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := inj2.RestoreState(checkpoint.NewDec("faults", 0, e.Bytes()))
+	var ce *checkpoint.CorruptError
+	if !errors.As(rerr, &ce) {
+		t.Fatalf("err = %v, want *checkpoint.CorruptError", rerr)
+	}
+}

@@ -1,0 +1,114 @@
+package host
+
+import (
+	"fmt"
+
+	"memories/internal/checkpoint"
+	"memories/internal/workload"
+)
+
+// SaveState serializes the host: generator identity + stream position,
+// the host RNG, the accumulated statistics, the bus, and every CPU's
+// private caches. The generator must implement workload.Checkpointer
+// (the splash kernels do not — their state lives in goroutine stacks).
+func (h *Host) SaveState(e *checkpoint.Enc) error {
+	if h.gen == nil {
+		return fmt.Errorf("host: no workload generator to checkpoint")
+	}
+	ck, ok := h.gen.(workload.Checkpointer)
+	if !ok {
+		return fmt.Errorf("host: generator %q is not checkpointable", h.gen.Name())
+	}
+	e.Str(h.gen.Name())
+	if err := ck.SaveState(e); err != nil {
+		return err
+	}
+	e.U64(h.rng.State())
+	e.F64(h.idleCarry)
+	e.U64(h.ioAddr)
+	e.U64(h.stats.Refs)
+	e.U64(h.stats.Instructions)
+	e.U64(h.stats.L1Hits)
+	e.U64(h.stats.L1Misses)
+	e.U64(h.stats.L2Hits)
+	e.U64(h.stats.L2Misses)
+	e.U64(h.stats.Upgrades)
+	e.U64(h.stats.Castouts)
+	e.U64(h.stats.IntervModSup)
+	e.U64(h.stats.IntervShrSup)
+	e.U64(h.stats.Invalidations)
+	e.U64(h.stats.IOOps)
+	e.U64(h.stats.Retried)
+	e.U64(h.stats.RetryExhausted)
+	h.bus.SaveState(e)
+	e.U32(uint32(len(h.cpus)))
+	for _, c := range h.cpus {
+		e.Bool(c.l1 != nil)
+		if c.l1 != nil {
+			c.l1.SaveState(e)
+		}
+		c.coh.SaveState(e)
+	}
+	return nil
+}
+
+// RestoreState loads a host checkpoint into an identically configured
+// host (same Config, same generator construction). The generator name
+// is cross-checked so a snapshot from a different workload is rejected
+// rather than silently misapplied.
+func (h *Host) RestoreState(d *checkpoint.Dec) error {
+	if h.gen == nil {
+		return fmt.Errorf("host: no workload generator to restore into")
+	}
+	ck, ok := h.gen.(workload.Checkpointer)
+	if !ok {
+		return fmt.Errorf("host: generator %q is not checkpointable", h.gen.Name())
+	}
+	if got, want := d.Str(), h.gen.Name(); got != want {
+		return d.Failf("generator %q != configured %q", got, want)
+	}
+	if err := ck.RestoreState(d); err != nil {
+		return err
+	}
+	h.rng.SetState(d.U64())
+	h.idleCarry = d.F64()
+	h.ioAddr = d.U64()
+	h.stats.Refs = d.U64()
+	h.stats.Instructions = d.U64()
+	h.stats.L1Hits = d.U64()
+	h.stats.L1Misses = d.U64()
+	h.stats.L2Hits = d.U64()
+	h.stats.L2Misses = d.U64()
+	h.stats.Upgrades = d.U64()
+	h.stats.Castouts = d.U64()
+	h.stats.IntervModSup = d.U64()
+	h.stats.IntervShrSup = d.U64()
+	h.stats.Invalidations = d.U64()
+	h.stats.IOOps = d.U64()
+	h.stats.Retried = d.U64()
+	h.stats.RetryExhausted = d.U64()
+	if err := h.bus.RestoreState(d); err != nil {
+		return err
+	}
+	if got, want := int(d.U32()), len(h.cpus); got != want {
+		return d.Failf("cpu count %d != configured %d", got, want)
+	}
+	for _, c := range h.cpus {
+		hasL1 := d.Bool()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if hasL1 != (c.l1 != nil) {
+			return d.Failf("cpu %d L1 presence %v != configured %v", c.id, hasL1, c.l1 != nil)
+		}
+		if c.l1 != nil {
+			if _, err := c.l1.RestoreState(d); err != nil {
+				return err
+			}
+		}
+		if _, err := c.coh.RestoreState(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}

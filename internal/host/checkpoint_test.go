@@ -1,0 +1,80 @@
+package host
+
+import (
+	"errors"
+	"testing"
+
+	"memories/internal/checkpoint"
+	"memories/internal/workload"
+)
+
+// Save mid-run, restore into a freshly constructed twin, and run both
+// forward: every statistic, the bus clock, and the private caches must
+// stay bit-identical — the resume-equivalence oracle at host scope.
+func TestHostCheckpointContinuation(t *testing.T) {
+	mk := func() *Host {
+		return MustNew(DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	}
+	h := mk()
+	h.Run(20_000)
+
+	var e checkpoint.Enc
+	if err := h.SaveState(&e); err != nil {
+		t.Fatal(err)
+	}
+	h2 := mk()
+	d := checkpoint.NewDec("host", 0, e.Bytes())
+	if err := h2.RestoreState(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d unread payload bytes", d.Remaining())
+	}
+	if h2.Stats() != h.Stats() {
+		t.Fatalf("stats diverge immediately after restore:\n%+v\n%+v", h2.Stats(), h.Stats())
+	}
+
+	h.Run(20_000)
+	h2.Run(20_000)
+	if h2.Stats() != h.Stats() {
+		t.Fatalf("stats diverge after resumed run:\n%+v\n%+v", h2.Stats(), h.Stats())
+	}
+}
+
+// A snapshot from one workload must not restore into a host driving
+// another: the generator name is the fingerprint.
+func TestHostRestoreRejectsWrongGenerator(t *testing.T) {
+	src := MustNew(DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	src.Run(1000)
+	var e checkpoint.Enc
+	if err := src.SaveState(&e); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := MustNew(DefaultConfig(), workload.NewTPCH(workload.ScaledTPCHConfig(4096)))
+	err := dst.RestoreState(checkpoint.NewDec("host", 0, e.Bytes()))
+	var ce *checkpoint.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *checkpoint.CorruptError", err)
+	}
+}
+
+// stackGen stands in for the splash kernels: a generator whose state
+// lives in goroutine stacks and therefore cannot be checkpointed.
+type stackGen struct{}
+
+func (stackGen) Name() string               { return "stack-resident" }
+func (stackGen) Next() (workload.Ref, bool) { return workload.Ref{Addr: 128, Instrs: 1}, true }
+func (stackGen) Footprint() int64           { return 1 << 20 }
+
+func TestHostSaveRejectsNonCheckpointableGenerator(t *testing.T) {
+	h := MustNew(DefaultConfig(), stackGen{})
+	h.Run(100)
+	var e checkpoint.Enc
+	if err := h.SaveState(&e); err == nil {
+		t.Fatal("SaveState accepted a non-checkpointable generator")
+	}
+	if err := h.RestoreState(checkpoint.NewDec("host", 0, nil)); err == nil {
+		t.Fatal("RestoreState accepted a non-checkpointable generator")
+	}
+}

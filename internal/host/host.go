@@ -225,6 +225,9 @@ func (h *Host) Stats() Stats { return h.stats }
 // SetWorkload replaces the workload generator.
 func (h *Host) SetWorkload(gen workload.Generator) { h.gen = gen }
 
+// Generator returns the current workload generator (nil if unset).
+func (h *Host) Generator() workload.Generator { return h.gen }
+
 // Step processes one workload reference (plus any injected I/O traffic),
 // returning false when the workload stream has ended.
 func (h *Host) Step() bool {

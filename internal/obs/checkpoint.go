@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"sort"
+
+	"memories/internal/checkpoint"
+)
+
+// SaveCounters serializes the registry's own atomic counters (sampler
+// ticks, drain events — everything created via Registry.Counter) in
+// sorted-name order. Mirrors, gauges, and histograms are derived from
+// live owners and are not part of a snapshot.
+func (r *Registry) SaveCounters(e *checkpoint.Enc) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.U32(uint32(len(names)))
+	for _, name := range names {
+		e.Str(name)
+		e.U64(r.counters[name].Value())
+	}
+	r.mu.RUnlock()
+}
+
+// RestoreCounters loads checkpointed counter values, creating counters
+// as needed (registry counters are open-namespace, unlike the board's
+// fixed bank).
+func (r *Registry) RestoreCounters(d *checkpoint.Dec) error {
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		name := d.Str()
+		v := d.U64()
+		if d.Err() != nil {
+			break
+		}
+		r.Counter(name).Store(v)
+	}
+	return d.Err()
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"testing"
+
+	"memories/internal/checkpoint"
+)
+
+// Registry counters are open-namespace: restore recreates any the
+// receiving registry has not seen yet, and overwrites those it has.
+func TestRegistryCountersCheckpointRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sampler.ticks").Add(42)
+	r.Counter("tracer.drops").Store(7)
+	r.Counter("zero.counter")
+
+	var e checkpoint.Enc
+	r.SaveCounters(&e)
+
+	r2 := NewRegistry()
+	pre := r2.Counter("sampler.ticks") // existing counter keeps its pointer
+	pre.Add(999)
+	d := checkpoint.NewDec("obs", 0, e.Bytes())
+	if err := r2.RestoreCounters(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d unread payload bytes", d.Remaining())
+	}
+	if pre.Value() != 42 {
+		t.Fatalf("sampler.ticks = %d, want 42", pre.Value())
+	}
+	if got := r2.Counter("tracer.drops").Value(); got != 7 {
+		t.Fatalf("tracer.drops = %d, want 7", got)
+	}
+	if got := r2.Counter("zero.counter").Value(); got != 0 {
+		t.Fatalf("zero.counter = %d, want 0", got)
+	}
+}
+
+// A truncated payload latches a corruption error rather than partially
+// applying.
+func TestRegistryRestoreCountersTruncated(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	var e checkpoint.Enc
+	r.SaveCounters(&e)
+	payload := e.Bytes()
+
+	r2 := NewRegistry()
+	if err := r2.RestoreCounters(checkpoint.NewDec("obs", 0, payload[:len(payload)-3])); err == nil {
+		t.Fatal("truncated payload restored without error")
+	}
+}

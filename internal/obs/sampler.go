@@ -28,6 +28,9 @@ type Sampler struct {
 	stop  chan struct{}
 	done  chan struct{}
 	ticks Counter
+
+	errMu   sync.Mutex
+	lastErr error
 }
 
 // Tick performs one sampling step synchronously: request publishes,
@@ -45,7 +48,14 @@ func (s *Sampler) Tick() *Snapshot {
 	}
 	snap := s.Reg.Snapshot()
 	if s.JSONL != nil {
-		_ = WriteJSON(s.JSONL, snap)
+		// A failed write means the JSONL stream is silently truncated
+		// from here on; latch the error so the run can report it
+		// instead of discovering a short file later.
+		if err := WriteJSON(s.JSONL, snap); err != nil {
+			s.errMu.Lock()
+			s.lastErr = err
+			s.errMu.Unlock()
+		}
 	}
 	if s.OnSnapshot != nil {
 		s.OnSnapshot(snap)
@@ -56,6 +66,15 @@ func (s *Sampler) Tick() *Snapshot {
 
 // Ticks returns how many snapshots the sampler has produced.
 func (s *Sampler) Ticks() uint64 { return s.ticks.Value() }
+
+// Err returns the most recent JSONL write failure, if any. Check it
+// after Stop: a non-nil error means the emitted stream is missing at
+// least one snapshot.
+func (s *Sampler) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
 
 // Start launches the periodic sampler goroutine. Safe to call once;
 // subsequent calls before Stop are no-ops.

@@ -1,0 +1,50 @@
+package stats
+
+import "memories/internal/checkpoint"
+
+// Restore sets the counter to a checkpointed value, clamping to the
+// 40-bit hardware range (a corrupt snapshot must not produce a counter
+// the hardware could never hold).
+func (c *Counter) Restore(v uint64, saturated bool) {
+	if v > CounterMax {
+		v = CounterMax
+		saturated = true
+	}
+	c.v, c.saturated = v, saturated
+}
+
+// SaveState serializes every counter (name, value, saturation flag) in
+// creation order.
+func (b *Bank) SaveState(e *checkpoint.Enc) {
+	e.U32(uint32(len(b.order)))
+	for _, name := range b.order {
+		c := b.counters[name]
+		e.Str(name)
+		e.U64(c.v)
+		e.Bool(c.saturated)
+	}
+}
+
+// RestoreState loads counter values into the existing bank, so that
+// cached *Counter pointers held by the board and the obs mirror remain
+// valid. Counters are reset first; a snapshot naming a counter this
+// bank does not have means the configurations differ, which is reported
+// as corruption.
+func (b *Bank) RestoreState(d *checkpoint.Dec) error {
+	b.ResetAll()
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		name := d.Str()
+		v := d.U64()
+		sat := d.Bool()
+		if d.Err() != nil {
+			break
+		}
+		c := b.counters[name]
+		if c == nil {
+			return d.Failf("snapshot counter %q not present in this bank", name)
+		}
+		c.Restore(v, sat)
+	}
+	return d.Err()
+}

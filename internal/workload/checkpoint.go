@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+
+	"memories/internal/checkpoint"
+)
+
+// State returns the RNG's raw xorshift state for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a checkpointed RNG state. Zero is remapped the same
+// way NewRNG remaps a zero seed (xorshift's all-zero fixed point).
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
+}
+
+// Checkpointer is implemented by generators whose position in the
+// reference stream can be saved and restored. The splash kernels do not
+// implement it (their state lives in goroutine stacks); Host.SaveState
+// surfaces that as an error rather than writing a partial snapshot.
+type Checkpointer interface {
+	SaveState(e *checkpoint.Enc) error
+	RestoreState(d *checkpoint.Dec) error
+}
+
+// decCPU reads a CPU cursor and clamps it into [0, n): a corrupt value
+// must not index past per-CPU state slices.
+func decCPU(d *checkpoint.Dec, n int) int {
+	cpu := int(d.U32())
+	if cpu < 0 || cpu >= n {
+		cpu = 0
+	}
+	return cpu
+}
+
+// SaveState implements Checkpointer.
+func (u *Uniform) SaveState(e *checkpoint.Enc) error {
+	e.U64(u.r.state)
+	e.U32(uint32(u.cpu))
+	return nil
+}
+
+// RestoreState implements Checkpointer.
+func (u *Uniform) RestoreState(d *checkpoint.Dec) error {
+	u.r.SetState(d.U64())
+	u.cpu = decCPU(d, u.cfg.NumCPUs)
+	return d.Err()
+}
+
+// SaveState implements Checkpointer.
+func (s *Stride) SaveState(e *checkpoint.Enc) error {
+	e.U64(s.r.state)
+	e.U32(uint32(s.cpu))
+	e.I64Slice(s.pos)
+	return nil
+}
+
+// RestoreState implements Checkpointer.
+func (s *Stride) RestoreState(d *checkpoint.Dec) error {
+	s.r.SetState(d.U64())
+	s.cpu = decCPU(d, s.cfg.NumCPUs)
+	pos := d.I64Slice()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(pos) != len(s.pos) {
+		return d.Failf("stride cursor count %d != %d CPUs", len(pos), len(s.pos))
+	}
+	copy(s.pos, pos)
+	return nil
+}
+
+// SaveState implements Checkpointer.
+func (z *Zipfian) SaveState(e *checkpoint.Enc) error {
+	e.U64(z.r.state)
+	e.U32(uint32(z.cpu))
+	return nil
+}
+
+// RestoreState implements Checkpointer.
+func (z *Zipfian) RestoreState(d *checkpoint.Dec) error {
+	z.r.SetState(d.U64())
+	z.cpu = decCPU(d, z.cfg.NumCPUs)
+	return d.Err()
+}
+
+// SaveState implements Checkpointer. The pyramids and Zipf samplers are
+// immutable after construction; only the RNG and cursors move.
+func (t *TPCC) SaveState(e *checkpoint.Enc) error {
+	e.U64(t.r.state)
+	e.U32(uint32(t.cpu))
+	e.I64(t.logPos)
+	return nil
+}
+
+// RestoreState implements Checkpointer.
+func (t *TPCC) RestoreState(d *checkpoint.Dec) error {
+	t.r.SetState(d.U64())
+	t.cpu = decCPU(d, t.cfg.NumCPUs)
+	t.logPos = d.I64()
+	return d.Err()
+}
+
+// SaveState implements Checkpointer.
+func (t *TPCH) SaveState(e *checkpoint.Enc) error {
+	e.U64(t.r.state)
+	e.U32(uint32(t.cpu))
+	e.I64Slice(t.scanPos)
+	return nil
+}
+
+// RestoreState implements Checkpointer.
+func (t *TPCH) RestoreState(d *checkpoint.Dec) error {
+	t.r.SetState(d.U64())
+	t.cpu = decCPU(d, t.cfg.NumCPUs)
+	pos := d.I64Slice()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if len(pos) != len(t.scanPos) {
+		return d.Failf("tpch scan cursor count %d != %d CPUs", len(pos), len(t.scanPos))
+	}
+	copy(t.scanPos, pos)
+	return nil
+}
+
+// SaveState implements Checkpointer.
+func (w *Web) SaveState(e *checkpoint.Enc) error {
+	e.U64(w.r.state)
+	e.U32(uint32(w.cpu))
+	e.I64(w.logPos)
+	e.U32(uint32(len(w.st)))
+	for _, s := range w.st {
+		e.I64(s.docBase)
+		e.I64(s.docLeft)
+		e.I64(s.conn)
+	}
+	return nil
+}
+
+// RestoreState implements Checkpointer.
+func (w *Web) RestoreState(d *checkpoint.Dec) error {
+	w.r.SetState(d.U64())
+	w.cpu = decCPU(d, w.cfg.NumCPUs)
+	w.logPos = d.I64()
+	n := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(w.st) {
+		return d.Failf("web per-CPU state count %d != %d CPUs", n, len(w.st))
+	}
+	for i := range w.st {
+		w.st[i].docBase = d.I64()
+		w.st[i].docLeft = d.I64()
+		w.st[i].conn = d.I64()
+	}
+	return d.Err()
+}
+
+// checkpointerFor returns g as a Checkpointer, or an error naming the
+// generator when its stream position cannot be serialized.
+func checkpointerFor(g Generator) (Checkpointer, error) {
+	if c, ok := g.(Checkpointer); ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("workload: generator %q is not checkpointable", g.Name())
+}
+
+// SaveState implements Checkpointer by delegating to the wrapped
+// generator after the remaining-reference budget.
+func (l *limited) SaveState(e *checkpoint.Enc) error {
+	c, err := checkpointerFor(l.g)
+	if err != nil {
+		return err
+	}
+	e.U64(l.left)
+	return c.SaveState(e)
+}
+
+// RestoreState implements Checkpointer.
+func (l *limited) RestoreState(d *checkpoint.Dec) error {
+	c, err := checkpointerFor(l.g)
+	if err != nil {
+		return err
+	}
+	l.left = d.U64()
+	return c.RestoreState(d)
+}
+
+// SaveState implements Checkpointer: burst phase, then the inner stream.
+func (dg *disturbed) SaveState(e *checkpoint.Enc) error {
+	c, err := checkpointerFor(dg.g)
+	if err != nil {
+		return err
+	}
+	e.U64(dg.sinceBurst)
+	e.U64(dg.burstLeft)
+	e.I64(dg.journalPos)
+	return c.SaveState(e)
+}
+
+// RestoreState implements Checkpointer.
+func (dg *disturbed) RestoreState(d *checkpoint.Dec) error {
+	c, err := checkpointerFor(dg.g)
+	if err != nil {
+		return err
+	}
+	dg.sinceBurst = d.U64()
+	dg.burstLeft = d.U64()
+	dg.journalPos = d.I64()
+	return c.RestoreState(d)
+}

@@ -276,7 +276,7 @@ func NewFaultSession(hcfg HostConfig, bcfg BoardConfig, fcfg FaultConfig, gen Ge
 		return nil, nil, err
 	}
 	h.Bus().Attach(inj)
-	return &Session{Host: h, Board: b}, inj, nil
+	return &Session{Host: h, Board: b, inj: inj}, inj, nil
 }
 
 // Session wires a workload, a modeled host, and a MemorIES board.
@@ -284,6 +284,7 @@ type Session struct {
 	Host  *Host
 	Board *Board
 	obs   *ObsHandle
+	inj   *FaultInjector // set by NewFaultSession; checkpointed with the session
 }
 
 // NewSession builds the host and board and attaches the board to the
