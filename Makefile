@@ -102,6 +102,30 @@ bench-trace:
 crash-resume:
 	$(GO) test -race -run TestKillResume -v .
 
+# The service load test: memloadgen self-hosts memoriesd's service
+# layer and drives LOADSESSIONS concurrent sessions through the full
+# create/ingest/stats/delete lifecycle, LOADCOUNT times. Bench-format
+# p99/p50 lines go to loadtest.txt and benchdiff gates >10% median p99
+# regressions against the committed baseline; the JSON artifact carries
+# the full percentile/throughput breakdown for CI upload.
+LOADSESSIONS ?= 1000
+LOADCOUNT ?= 5
+.PHONY: loadtest
+loadtest:
+	rm -f loadtest.txt
+	$(GO) run ./cmd/memloadgen -sessions $(LOADSESSIONS) -count $(LOADCOUNT) \
+		-bench loadtest.txt -json "LOADTEST_$$(date +%F).json"
+	$(GO) run ./cmd/benchdiff -baseline ci/loadtest-baseline.txt -current loadtest.txt \
+		-filter 'Loadtest' -threshold 0.10
+
+# Refresh the committed load-test baseline (run on the CI runner class
+# you gate on; medians across LOADCOUNT runs absorb scheduling noise).
+.PHONY: loadtest-baseline
+loadtest-baseline:
+	rm -f ci/loadtest-baseline.txt
+	$(GO) run ./cmd/memloadgen -sessions $(LOADSESSIONS) -count $(LOADCOUNT) \
+		-bench ci/loadtest-baseline.txt
+
 .PHONY: lint
 lint:
 	golangci-lint run

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall exercises the whole harness against a self-hosted
+// service: lifecycles complete, bench lines come out parseable, and
+// the JSON artifact round-trips.
+func TestRunSmall(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "load.txt")
+	jsonPath := filepath.Join(dir, "load.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-sessions", "20", "-blocks", "2", "-records", "64",
+		"-concurrency", "8", "-count", "2",
+		"-bench", benchPath, "-json", jsonPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+
+	bench, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p99 int
+	for _, line := range strings.Split(strings.TrimSpace(string(bench)), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 4 || !strings.HasPrefix(f[0], "BenchmarkLoadtest") || f[3] != "ns/op" {
+			t.Fatalf("malformed bench line %q", line)
+		}
+		if f[0] == "BenchmarkLoadtestIngestP99" {
+			p99++
+		}
+	}
+	if p99 != 2 {
+		t.Fatalf("want 2 p99 lines (-count 2), got %d:\n%s", p99, bench)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("artifact has %d runs, want 2", len(results))
+	}
+	for _, res := range results {
+		if res.Sessions != 20 || res.IngestOK != 40 || res.Failures != 0 {
+			t.Fatalf("bad run result: %+v", res)
+		}
+		if res.P99IngestNs <= 0 || res.P99CreateNs <= 0 {
+			t.Fatalf("missing percentiles: %+v", res)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-cache", "bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("bad cache size: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nosuch"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ns := []int64{5, 1, 4, 2, 3}
+	if got := percentile(ns, 50); got != 3 {
+		t.Fatalf("p50 = %d, want 3", got)
+	}
+	if got := percentile(ns, 99); got != 5 {
+		t.Fatalf("p99 = %d, want 5", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Fatalf("empty p99 = %d, want 0", got)
+	}
+}

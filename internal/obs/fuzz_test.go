@@ -70,5 +70,42 @@ func FuzzPromText(f *testing.F) {
 		if n := bytes.Count(jb.Bytes(), []byte{'\n'}); n != 1 || !bytes.HasSuffix(jb.Bytes(), []byte{'\n'}) {
 			t.Fatalf("JSON-lines framing broken: %d newlines in %q", n, jb.String())
 		}
+
+		// Labeled path: treat the fuzzed name as a session ID. The value
+		// escaping (backslash, quote, newline) must survive a render →
+		// reparse round trip byte-for-byte, and the label split must not
+		// lose the sample's value.
+		lr := NewRegistry()
+		lr.Counter("session." + name + ".hits").Add(v1)
+		lr.Counter("service.total").Add(v2)
+		lh := lr.Histogram("session."+name+".wait", []uint64{16, 256})
+		lh.Observe(v2 % 4096)
+		var lb bytes.Buffer
+		if err := WritePromWith(&lb, lr.Snapshot(), SplitSessionLabel); err != nil {
+			t.Fatalf("WritePromWith: %v", err)
+		}
+		lsamples, err := ParseProm(bytes.NewReader(lb.Bytes()))
+		if err != nil {
+			t.Fatalf("labeled render failed to reparse: %v\n%s", err, lb.String())
+		}
+		metric, labels := SplitSessionLabel("session." + name + ".hits")
+		var found bool
+		for _, s := range lsamples {
+			if s.Name != PromName(metric) {
+				continue
+			}
+			found = true
+			if len(labels) > 0 {
+				if got := s.Label("session"); got != labels[0].Value {
+					t.Fatalf("session label = %q, want %q\n%s", got, labels[0].Value, lb.String())
+				}
+			}
+			if s.Value != float64(v1) {
+				t.Fatalf("labeled counter = %v, want %v", s.Value, float64(v1))
+			}
+		}
+		if !found {
+			t.Fatalf("labeled counter %s missing from reparse\n%s", PromName(metric), lb.String())
+		}
 	})
 }

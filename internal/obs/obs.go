@@ -124,6 +124,43 @@ func (r *Registry) DetachMirror(prefix string) {
 	r.mu.Unlock()
 }
 
+// RemovePrefix detaches every mirror, counter, gauge, and histogram
+// whose name starts with prefix, returning how many metrics were
+// dropped. Long-running multi-tenant processes (the session service)
+// use it to tear a session's whole namespace out of the registry when
+// the session is destroyed, so the registry does not grow without
+// bound.
+func (r *Registry) RemovePrefix(prefix string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.mirrors {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.mirrors, name)
+			n++
+		}
+	}
+	for name := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.counters, name)
+			n++
+		}
+	}
+	for name := range r.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.gauges, name)
+			n++
+		}
+	}
+	for name := range r.hists {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.hists, name)
+			n++
+		}
+	}
+	return n
+}
+
 // Counter returns the named atomic counter, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,36 +34,173 @@ func PromName(name string) string {
 	return sb.String()
 }
 
+// Label is one Prometheus label pair attached to a rendered sample.
+// Keys are sanitized like metric names; values are escaped, so any
+// string (session IDs in particular) is safe as a value.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// PromLabelKey sanitizes a raw string into a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*): illegal characters become '_', and a
+// leading digit is prefixed with '_'. Empty input sanitizes to "_".
+func PromLabelKey(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 1)
+	if s[0] >= '0' && s[0] <= '9' {
+		sb.WriteByte('_')
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// EscapeLabelValue escapes a raw label value per the text-format rules:
+// backslash, double quote, and newline must be escaped so a hostile
+// value (a user-chosen session ID, say) cannot break line framing or
+// terminate the quoted string early.
+func EscapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatLabels renders a sanitized, escaped label list without braces:
+// `k1="v1",k2="v2"`. Returns "" for an empty list.
+func formatLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(PromLabelKey(l.Key))
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// SplitSessionLabel is a WritePromWith splitter for the service layer's
+// per-session namespaces: a registry name "session.<id>.<rest>" renders
+// as the shared metric "session.<rest>" carrying a session="<id>" label,
+// so every session shares one time series family and Prometheus can
+// aggregate across them. Names outside the session namespace pass
+// through unlabeled.
+func SplitSessionLabel(name string) (string, []Label) {
+	rest, ok := strings.CutPrefix(name, "session.")
+	if !ok {
+		return name, nil
+	}
+	id, tail, ok := strings.Cut(rest, ".")
+	if !ok || id == "" || tail == "" {
+		return name, nil
+	}
+	return "session." + tail, []Label{{Key: "session", Value: id}}
+}
+
 // WriteProm renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4). Output is deterministic for a given snapshot:
 // metrics appear sorted by registry name within each section.
 func WriteProm(w io.Writer, s *Snapshot) error {
+	return WritePromWith(w, s, nil)
+}
+
+// promSeries is one renderable sample family member after splitting.
+type promSeries struct {
+	metric string // sanitized metric name
+	labels string // rendered label list, "" when unlabeled
+	raw    string // original registry name (HELP text)
+	idx    int    // index into the source slice
+}
+
+// splitSeries applies the splitter to every name and groups samples of
+// the same metric contiguously (sorted by metric, then label list), as
+// the exposition format requires: one HELP/TYPE block per metric name,
+// with all of its labeled children together.
+func splitSeries(n int, name func(int) string, split func(string) (string, []Label)) []promSeries {
+	out := make([]promSeries, 0, n)
+	for i := 0; i < n; i++ {
+		raw := name(i)
+		m, ls := raw, []Label(nil)
+		if split != nil {
+			m, ls = split(raw)
+		}
+		out = append(out, promSeries{metric: PromName(m), labels: formatLabels(ls), raw: raw, idx: i})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].metric != out[j].metric {
+			return out[i].metric < out[j].metric
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// WritePromWith renders the snapshot like WriteProm, but first passes
+// every registry name through split, which may rewrite the name and
+// attach labels (see SplitSessionLabel). Samples sharing a rewritten
+// metric name are grouped under a single HELP/TYPE block. A nil split
+// is exactly WriteProm.
+func WritePromWith(w io.Writer, s *Snapshot, split func(string) (string, []Label)) error {
 	bw := bufio.NewWriter(w)
-	for _, c := range s.Counters {
-		n := PromName(c.Name)
-		fmt.Fprintf(bw, "# HELP %s memories counter %s\n", n, escapeHelp(c.Name))
-		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
-		fmt.Fprintf(bw, "%s %d\n", n, c.Value)
+	series := func(n string, labels string) string {
+		if labels == "" {
+			return n
+		}
+		return n + "{" + labels + "}"
 	}
-	for _, g := range s.Gauges {
-		n := PromName(g.Name)
-		fmt.Fprintf(bw, "# HELP %s memories gauge %s\n", n, escapeHelp(g.Name))
-		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
-		fmt.Fprintf(bw, "%s %s\n", n, formatPromValue(g.Value))
+	head := func(prev *string, kind, n, raw string) {
+		if *prev == n {
+			return
+		}
+		*prev = n
+		fmt.Fprintf(bw, "# HELP %s memories %s %s\n", n, kind, escapeHelp(raw))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", n, kind)
 	}
-	for _, h := range s.Hists {
-		n := PromName(h.Name)
-		fmt.Fprintf(bw, "# HELP %s memories histogram %s\n", n, escapeHelp(h.Name))
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+	var prev string
+	for _, ps := range splitSeries(len(s.Counters), func(i int) string { return s.Counters[i].Name }, split) {
+		head(&prev, "counter", ps.metric, ps.raw)
+		fmt.Fprintf(bw, "%s %d\n", series(ps.metric, ps.labels), s.Counters[ps.idx].Value)
+	}
+	prev = ""
+	for _, ps := range splitSeries(len(s.Gauges), func(i int) string { return s.Gauges[i].Name }, split) {
+		head(&prev, "gauge", ps.metric, ps.raw)
+		fmt.Fprintf(bw, "%s %s\n", series(ps.metric, ps.labels), formatPromValue(s.Gauges[ps.idx].Value))
+	}
+	prev = ""
+	for _, ps := range splitSeries(len(s.Hists), func(i int) string { return s.Hists[i].Name }, split) {
+		head(&prev, "histogram", ps.metric, ps.raw)
+		h := s.Hists[ps.idx]
+		bucket := func(le string) string {
+			if ps.labels == "" {
+				return ps.metric + `_bucket{le="` + le + `"}`
+			}
+			return ps.metric + "_bucket{" + ps.labels + `,le="` + le + `"}`
+		}
 		cum := uint64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, b, cum)
+			fmt.Fprintf(bw, "%s %d\n", bucket(strconv.FormatUint(b, 10)), cum)
 		}
 		cum += h.Counts[len(h.Bounds)]
-		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
-		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
-		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s %d\n", bucket("+Inf"), cum)
+		fmt.Fprintf(bw, "%s %d\n", series(ps.metric+"_sum", ps.labels), h.Sum)
+		fmt.Fprintf(bw, "%s %d\n", series(ps.metric+"_count", ps.labels), h.Count)
 	}
 	return bw.Flush()
 }
@@ -81,15 +219,91 @@ func escapeHelp(s string) string {
 
 // PromSample is one parsed sample line from the text format.
 type PromSample struct {
-	Name  string // metric name, including any _bucket/_sum/_count suffix
-	Le    string // value of the le label, if present
-	Value float64
+	Name   string  // metric name, including any _bucket/_sum/_count suffix
+	Le     string  // value of the le label, if present
+	Labels []Label // full label set, in input order (includes le)
+	Value  float64
+}
+
+// Label returns the value of the named label, or "".
+func (s *PromSample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// parseLabelSet parses the inside of a `{...}` label block: a comma-
+// separated list of key="value" pairs where values use the \\, \", \n
+// escapes. A trailing comma is tolerated (Prometheus accepts it).
+func parseLabelSet(labels string) ([]Label, error) {
+	var out []Label
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("missing '=' in label set %q", labels)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if key == "" {
+			return nil, fmt.Errorf("empty label name in %q", labels)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted value for label %q", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+	scan:
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", rest[i], key)
+				}
+			case '"':
+				out = append(out, Label{Key: key, Value: val.String()})
+				rest = rest[i+1:]
+				closed = true
+				break scan
+			default:
+				val.WriteByte(rest[i])
+			}
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return nil, fmt.Errorf("junk %q after label %q", rest, key)
+		}
+		rest = strings.TrimSpace(rest[1:])
+	}
+	return out, nil
 }
 
 // ParseProm parses Prometheus text-format output (the subset WriteProm
-// emits: comments, bare samples, and single-label `le` buckets) into
-// samples in input order. Malformed sample lines return an error; the
-// fuzz suite uses this to prove render→parse round-trips.
+// and WritePromWith emit: comments, bare samples, and samples with a
+// quoted-and-escaped label set) into samples in input order. Malformed
+// sample lines return an error; the fuzz suite uses this to prove
+// render→parse round-trips, escapes included.
 func ParseProm(r io.Reader) ([]PromSample, error) {
 	var out []PromSample
 	sc := bufio.NewScanner(r)
@@ -105,16 +319,17 @@ func ParseProm(r io.Reader) ([]PromSample, error) {
 		rest := line
 		if i := strings.IndexByte(rest, '{'); i >= 0 {
 			s.Name = rest[:i]
-			j := strings.IndexByte(rest, '}')
-			if j < i {
-				return nil, fmt.Errorf("obs: prom line %d: unterminated label set", lineNo)
+			// The closing brace must be found respecting escapes: a
+			// label value may contain '}' inside its quotes.
+			j, err := closingBrace(rest, i)
+			if err != nil {
+				return nil, fmt.Errorf("obs: prom line %d: %v", lineNo, err)
 			}
-			labels := rest[i+1 : j]
-			const lePrefix = `le="`
-			if !strings.HasPrefix(labels, lePrefix) || !strings.HasSuffix(labels, `"`) {
-				return nil, fmt.Errorf("obs: prom line %d: unsupported labels %q", lineNo, labels)
+			s.Labels, err = parseLabelSet(rest[i+1 : j])
+			if err != nil {
+				return nil, fmt.Errorf("obs: prom line %d: %v", lineNo, err)
 			}
-			s.Le = labels[len(lePrefix) : len(labels)-1]
+			s.Le = s.Label("le")
 			rest = strings.TrimSpace(rest[j+1:])
 		} else {
 			fields := strings.Fields(rest)
@@ -137,6 +352,27 @@ func ParseProm(r io.Reader) ([]PromSample, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// closingBrace finds the index of the '}' terminating the label set
+// opened at line[open], skipping over quoted values and their escapes.
+func closingBrace(line string, open int) (int, error) {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip escaped char
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unterminated label set")
 }
 
 // jsonSnapshot is the wire shape of a JSON-lines snapshot. Maps render

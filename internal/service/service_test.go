@@ -1,0 +1,717 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memories/internal/bus"
+	"memories/internal/checkpoint"
+	"memories/internal/core"
+	"memories/internal/tracefile"
+)
+
+// testServer starts a service on a loopback port and returns its base
+// URL; the listener is torn down with the test.
+func testServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, "http://" + srv.Addr()
+}
+
+// traceBody encodes n records as a MIES0001 stream with a fixed stride.
+func traceBody(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := tracefile.NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("trace writer: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		cmd := bus.Read
+		if i%4 == 3 {
+			cmd = bus.RWITM
+		}
+		rec := tracefile.Record{Addr: uint64(i) * 64, Cmd: cmd, SrcID: uint8(i % 4)}
+		if err := w.Write(rec); err != nil {
+			t.Fatalf("trace write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("trace flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func traceBodyV2(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := tracefile.NewV2Writer(&buf)
+	if err != nil {
+		t.Fatalf("v2 writer: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(tracefile.Record{Addr: uint64(i) * 128, Cmd: bus.Read}); err != nil {
+			t.Fatalf("v2 write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("v2 flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeInto(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func drainBody(resp *http.Response) string {
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(b)
+}
+
+// pollStats polls until the session's queue is empty and every
+// accepted record has been applied.
+func pollStats(t *testing.T, base, id string) StatsResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/sessions/" + id + "/stats")
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		var st StatsResponse
+		decodeInto(t, resp, &st)
+		if st.Queue == 0 && st.Ingested >= st.Accepted {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never drained: %+v", id, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, base := testServer(t, Config{})
+
+	resp := postJSON(t, base+"/sessions", CreateRequest{
+		ID: "alpha", Cache: "64KB", LineBytes: 64, Assoc: 2, Protocol: "MESI",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	var info SessionInfo
+	decodeInto(t, resp, &info)
+	if info.ID != "alpha" || info.DirectoryBytes != (64<<10/64)*8 {
+		t.Fatalf("create info = %+v", info)
+	}
+
+	// Ingest two v1 blocks and one v2 block; all go to the same clock.
+	for i, body := range [][]byte{traceBody(t, 500), traceBody(t, 500), traceBodyV2(t, 250)} {
+		resp, err := http.Post(base+"/sessions/alpha/trace", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %d: status %d: %s", i, resp.StatusCode, drainBody(resp))
+		}
+		var ir IngestResponse
+		decodeInto(t, resp, &ir)
+		if ir.Accepted == 0 {
+			t.Fatalf("ingest %d accepted 0", i)
+		}
+	}
+
+	st := pollStats(t, base, "alpha")
+	if st.Mode != "trace" {
+		t.Fatalf("mode = %q, want trace", st.Mode)
+	}
+	if st.Ingested != 1250 || st.Accepted != 1250 {
+		t.Fatalf("ingested/accepted = %d/%d, want 1250/1250", st.Ingested, st.Accepted)
+	}
+	if st.LastCycle != 1250 {
+		t.Fatalf("last_cycle = %d, want 1250", st.LastCycle)
+	}
+	if len(st.Nodes) != 1 || st.Nodes[0].ReadHit+st.Nodes[0].ReadMiss == 0 {
+		t.Fatalf("node stats missing: %+v", st.Nodes)
+	}
+
+	// List shows the session.
+	resp, err := http.Get(base + "/sessions")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	var list []SessionInfo
+	decodeInto(t, resp, &list)
+	if len(list) != 1 || list[0].ID != "alpha" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Delete returns the final stats and frees the slot.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/alpha", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	var final StatsResponse
+	decodeInto(t, resp, &final)
+	if final.Ingested != 1250 {
+		t.Fatalf("final ingested = %d", final.Ingested)
+	}
+	resp, err = http.Get(base + "/sessions/alpha/stats")
+	if err != nil {
+		t.Fatalf("stats after delete: %v", err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats after delete: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+}
+
+func TestCreateValidation(t *testing.T) {
+	srv, base := testServer(t, Config{MaxDirectoryBytes: 1 << 20})
+
+	cases := []struct {
+		name string
+		req  CreateRequest
+		want int
+	}{
+		{"bad protocol", CreateRequest{Protocol: "dragon", Cache: "64KB"}, http.StatusBadRequest},
+		{"bad policy", CreateRequest{Policy: "belady", Cache: "64KB"}, http.StatusBadRequest},
+		{"bad id", CreateRequest{ID: "no spaces", Cache: "64KB"}, http.StatusBadRequest},
+		{"bad geometry", CreateRequest{Cache: "100KB", LineBytes: 96}, http.StatusBadRequest},
+		{"over quota", CreateRequest{Cache: "1GB", LineBytes: 64}, http.StatusRequestEntityTooLarge},
+		{"warm start disabled", CreateRequest{Cache: "64KB", WarmStart: "x.ckpt"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, base+"/sessions", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, drainBody(resp))
+			continue
+		}
+		drainBody(resp)
+	}
+	if n := srv.SessionCount(); n != 0 {
+		t.Fatalf("rejected creates leaked %d sessions", n)
+	}
+
+	// Duplicate ID conflicts.
+	for i, want := range []int{http.StatusCreated, http.StatusConflict} {
+		resp := postJSON(t, base+"/sessions", CreateRequest{ID: "dup", Cache: "64KB", LineBytes: 64})
+		if resp.StatusCode != want {
+			t.Fatalf("dup create %d: status %d, want %d", i, resp.StatusCode, want)
+		}
+		drainBody(resp)
+	}
+}
+
+func TestPoolFull(t *testing.T) {
+	_, base := testServer(t, Config{MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, base+"/sessions", CreateRequest{Cache: "64KB", LineBytes: 64})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, resp.StatusCode)
+		}
+		drainBody(resp)
+	}
+	resp := postJSON(t, base+"/sessions", CreateRequest{Cache: "64KB", LineBytes: 64})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third create: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("pool-full 503 missing Retry-After")
+	}
+	drainBody(resp)
+}
+
+// TestBackpressure429 wedges the session worker via the apply hook so
+// the bounded queue fills, then verifies the HTTP bus-retry: 429 +
+// Retry-After, and that a re-issue after release succeeds.
+func TestBackpressure429(t *testing.T) {
+	srv, base := testServer(t, Config{MaxInflight: 2})
+	release := make(chan struct{})
+	var once sync.Once
+	gate := make(chan struct{})
+	srv.applyHook = func() {
+		once.Do(func() { close(gate) })
+		<-release
+	}
+
+	resp := postJSON(t, base+"/sessions", CreateRequest{ID: "slow", Cache: "64KB", LineBytes: 64})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	body := traceBody(t, 100)
+	// First block wedges in the worker; wait until it is actually held
+	// so the queue accounting below is deterministic.
+	resp, err := http.Post(base+"/sessions/slow/trace", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest 0: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+	<-gate
+
+	// Two more fill the queue; the next must bounce with 429.
+	var got429 bool
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/sessions/slow/trace", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 missing Retry-After")
+			}
+		default:
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+		drainBody(resp)
+	}
+	if !got429 {
+		t.Fatal("queue never bounced with 429")
+	}
+
+	// Release the worker; the client re-issues and the session drains.
+	close(release)
+	resp, err = http.Post(base+"/sessions/slow/trace", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("re-issue: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("re-issue: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+	st := pollStats(t, base, "slow")
+	if st.Rejected == 0 {
+		t.Fatalf("stats rejected_429 = 0, want >0: %+v", st)
+	}
+	if v := srv.Registry().Counter("service.ingest.retry-posted").Value(); v == 0 {
+		t.Fatal("service.ingest.retry-posted counter = 0")
+	}
+}
+
+func TestModeConflict(t *testing.T) {
+	_, base := testServer(t, Config{})
+	resp := postJSON(t, base+"/sessions", CreateRequest{ID: "tr", Cache: "64KB", LineBytes: 64})
+	drainBody(resp)
+
+	resp, err := http.Post(base+"/sessions/tr/trace", "application/octet-stream", bytes.NewReader(traceBody(t, 10)))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trace ingest: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	resp = postJSON(t, base+"/sessions/tr/trace", WorkloadSpec{Workload: "uniform", Refs: 100})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("workload into trace session: status %d, want 409 (%s)", resp.StatusCode, drainBody(resp))
+	}
+	drainBody(resp)
+}
+
+func TestWorkloadSession(t *testing.T) {
+	_, base := testServer(t, Config{})
+	resp := postJSON(t, base+"/sessions", CreateRequest{ID: "wl", Cache: "64KB", LineBytes: 64, CPUs: 4, Seed: 7})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	for _, spec := range []WorkloadSpec{
+		{Workload: "tpcc", Refs: 5000},
+		{Workload: "uniform", Refs: 5000, Footprint: "1MB", WriteFraction: 0.3},
+	} {
+		resp = postJSON(t, base+"/sessions/wl/trace", spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: status %d: %s", spec.Workload, resp.StatusCode, drainBody(resp))
+		}
+		drainBody(resp)
+	}
+	st := pollStats(t, base, "wl")
+	if st.Mode != "workload" {
+		t.Fatalf("mode = %q", st.Mode)
+	}
+	if st.Ingested != 10000 {
+		t.Fatalf("ingested = %d, want 10000", st.Ingested)
+	}
+	if st.Nodes[0].ReadHit+st.Nodes[0].ReadMiss+st.Nodes[0].WriteHit+st.Nodes[0].WriteMiss == 0 {
+		t.Fatal("workload produced no cache activity")
+	}
+
+	// Unknown workload and over-cap refs are refused.
+	for _, spec := range []WorkloadSpec{
+		{Workload: "nosuch", Refs: 10},
+		{Workload: "uniform", Refs: MaxSpecRefs + 1},
+	} {
+		resp = postJSON(t, base+"/sessions/wl/trace", spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", spec.Workload, resp.StatusCode)
+		}
+		drainBody(resp)
+	}
+}
+
+// TestDrainCheckpoint is the acceptance criterion: SIGTERM-style drain
+// mid-load checkpoints every session, and a restored board matches the
+// drained session's counters exactly.
+func TestDrainCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, base := testServer(t, Config{CheckpointDir: dir})
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		resp := postJSON(t, base+"/sessions", CreateRequest{
+			ID: fmt.Sprintf("d%d", i), Cache: "64KB", LineBytes: 64, Assoc: 2,
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, resp.StatusCode)
+		}
+		drainBody(resp)
+		resp, err := http.Post(base+fmt.Sprintf("/sessions/d%d/trace", i),
+			"application/octet-stream", bytes.NewReader(traceBody(t, 300+100*i)))
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+		drainBody(resp)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drained, err := srv.Drain(ctx)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if drained != n {
+		t.Fatalf("drained %d sessions, want %d", drained, n)
+	}
+
+	// Admission is closed during/after drain.
+	resp := postJSON(t, base+"/sessions", CreateRequest{Cache: "64KB", LineBytes: 64})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create during drain: status %d, want 503", resp.StatusCode)
+	}
+	drainBody(resp)
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	// Every session produced a checkpoint file.
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("d%d", i)
+		if _, err := os.Stat(filepath.Join(dir, id+".ckpt")); err != nil {
+			t.Fatalf("missing checkpoint: %v", err)
+		}
+	}
+
+	// Restore d1 into a fresh, identically configured board and compare
+	// every counter with the drained session's live board.
+	live := srv.session("d1")
+	if live == nil {
+		t.Fatal("session d1 gone after drain")
+	}
+	snap, err := checkpoint.ReadFile(filepath.Join(dir, "d1.ckpt"))
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	fresh, err := core.NewBoard(live.board.Config())
+	if err != nil {
+		t.Fatalf("fresh board: %v", err)
+	}
+	if _, err := core.RestoreBoard(fresh, snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got, want := fresh.Counters().Dump(""), live.board.Counters().Dump(""); got != want {
+		t.Fatalf("restored counters diverge:\n got: %s\nwant: %s", got, want)
+	}
+	if fresh.LastCycle() != live.board.LastCycle() {
+		t.Fatalf("restored cycle %d != live %d", fresh.LastCycle(), live.board.LastCycle())
+	}
+}
+
+// TestWarmStart checkpoints one session's board into a corpus, then
+// creates a new session warm-started from it and verifies the restored
+// state and resumed cycle clock.
+func TestWarmStart(t *testing.T) {
+	corpus := t.TempDir()
+
+	// Phase 1: build the corpus by draining a loaded server into it.
+	srv1, base1 := testServer(t, Config{CheckpointDir: corpus})
+	resp := postJSON(t, base1+"/sessions", CreateRequest{ID: "seed", Cache: "64KB", LineBytes: 64, Assoc: 2})
+	drainBody(resp)
+	resp, err := http.Post(base1+"/sessions/seed/trace", "application/octet-stream", bytes.NewReader(traceBody(t, 800)))
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("seed ingest: %v status %d", err, resp.StatusCode)
+	}
+	drainBody(resp)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := srv1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wantDump := srv1.session("seed").board.Counters().Dump("")
+
+	// Phase 2: warm-start a session from the corpus on a fresh server.
+	_, base2 := testServer(t, Config{CorpusDir: corpus})
+	resp = postJSON(t, base2+"/sessions", CreateRequest{
+		ID: "warm", Cache: "64KB", LineBytes: 64, Assoc: 2, WarmStart: "seed.ckpt",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("warm create: status %d: %s", resp.StatusCode, drainBody(resp))
+	}
+	var info SessionInfo
+	decodeInto(t, resp, &info)
+	if info.WarmStart != "seed.ckpt" {
+		t.Fatalf("info.WarmStart = %q", info.WarmStart)
+	}
+	st := pollStats(t, base2, "warm")
+	if st.LastCycle != 800 {
+		t.Fatalf("warm session cycle = %d, want 800", st.LastCycle)
+	}
+	if st.WarmStart != "seed.ckpt" {
+		t.Fatalf("stats warm_start = %q", st.WarmStart)
+	}
+
+	srv2b, base2b := testServer(t, Config{CorpusDir: corpus})
+	resp = postJSON(t, base2b+"/sessions", CreateRequest{
+		ID: "warm2", Cache: "64KB", LineBytes: 64, Assoc: 2, WarmStart: "seed.ckpt",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("warm2 create: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+	if got := srv2b.session("warm2").board.Counters().Dump(""); got != wantDump {
+		t.Fatalf("warm-started counters diverge:\n got: %s\nwant: %s", got, wantDump)
+	}
+
+	// Geometry mismatch: the checkpoint fingerprints its config.
+	resp = postJSON(t, base2+"/sessions", CreateRequest{
+		ID: "wrong", Cache: "128KB", LineBytes: 64, Assoc: 2, WarmStart: "seed.ckpt",
+	})
+	if resp.StatusCode == http.StatusCreated {
+		t.Fatal("mismatched warm start was accepted")
+	}
+	drainBody(resp)
+
+	// Path traversal is rejected outright.
+	resp = postJSON(t, base2+"/sessions", CreateRequest{
+		Cache: "64KB", LineBytes: 64, WarmStart: "../seed.ckpt",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("traversal warm start: status %d, want 400", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	// A corrupt checkpoint is a 422, distinct from caller error.
+	bad := filepath.Join(corpus, "bad.ckpt")
+	raw, err := os.ReadFile(filepath.Join(corpus, "seed.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, base2+"/sessions", CreateRequest{
+		Cache: "64KB", LineBytes: 64, Assoc: 2, WarmStart: "bad.ckpt",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt warm start: status %d, want 422 (%s)", resp.StatusCode, drainBody(resp))
+	}
+	drainBody(resp)
+}
+
+// TestMetricsLabels verifies /metrics rewrites session namespaces into
+// Prometheus labels and tears them down with the session.
+func TestMetricsLabels(t *testing.T) {
+	srv, base := testServer(t, Config{})
+	resp := postJSON(t, base+"/sessions", CreateRequest{ID: "m-1", Cache: "64KB", LineBytes: 64})
+	drainBody(resp)
+	resp, err := http.Post(base+"/sessions/m-1/trace", "application/octet-stream", bytes.NewReader(traceBody(t, 50)))
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %v status %d", err, resp.StatusCode)
+	}
+	drainBody(resp)
+	pollStats(t, base, "m-1")
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	text := drainBody(resp)
+	if !strings.Contains(text, `session="m-1"`) {
+		t.Fatalf("metrics missing session label:\n%s", text)
+	}
+	if !strings.Contains(text, "memories_service_sessions_created") {
+		t.Fatalf("metrics missing service counters:\n%s", text)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/m-1", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	drainBody(resp)
+	if n := srv.Registry().RemovePrefix("session.m-1"); n != 0 {
+		t.Fatalf("teardown left %d session series behind", n)
+	}
+}
+
+// TestConcurrentClients drives 8 parallel client goroutines through
+// full lifecycles against one server; run under -race this is the
+// stress check for the session map, queue, and counter paths.
+func TestConcurrentClients(t *testing.T) {
+	_, base := testServer(t, Config{MaxInflight: 4})
+	body := traceBody(t, 200)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for s := 0; s < 3; s++ {
+				id := fmt.Sprintf("c%d-s%d", c, s)
+				b, _ := json.Marshal(CreateRequest{ID: id, Cache: "64KB", LineBytes: 64, Assoc: 2})
+				resp, err := http.Post(base+"/sessions", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusCreated {
+					errc <- fmt.Errorf("%s create: status %d", id, resp.StatusCode)
+					return
+				}
+				drainBody(resp)
+				for i := 0; i < 4; i++ {
+					for {
+						resp, err := http.Post(base+"/sessions/"+id+"/trace",
+							"application/octet-stream", bytes.NewReader(body))
+						if err != nil {
+							errc <- err
+							return
+						}
+						code := resp.StatusCode
+						drainBody(resp)
+						if code == http.StatusAccepted {
+							break
+						}
+						if code != http.StatusTooManyRequests {
+							errc <- fmt.Errorf("%s ingest: status %d", id, code)
+							return
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+				req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/"+id, nil)
+				resp, err = http.DefaultClient.Do(req)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var final StatsResponse
+				if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+					resp.Body.Close()
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if final.Ingested != 800 {
+					errc <- fmt.Errorf("%s final ingested = %d, want 800", id, final.Ingested)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	_, base := testServer(t, Config{MaxBodyBytes: 1 << 10})
+	resp := postJSON(t, base+"/sessions", CreateRequest{ID: "e", Cache: "64KB", LineBytes: 64})
+	drainBody(resp)
+
+	// Unknown session.
+	resp, err := http.Post(base+"/sessions/ghost/trace", "application/octet-stream", bytes.NewReader(traceBody(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost ingest: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	// Garbage body: neither trace magic nor a workload spec.
+	resp, err = http.Post(base+"/sessions/e/trace", "application/octet-stream", strings.NewReader("not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage ingest: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	// Body over the cap is refused.
+	resp, err = http.Post(base+"/sessions/e/trace", "application/octet-stream", bytes.NewReader(traceBody(t, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d", resp.StatusCode)
+	}
+	drainBody(resp)
+}

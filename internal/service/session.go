@@ -1,0 +1,364 @@
+package service
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memories/internal/addr"
+	"memories/internal/bus"
+	"memories/internal/cache"
+	"memories/internal/checkpoint"
+	"memories/internal/coherence"
+	"memories/internal/core"
+	"memories/internal/host"
+	"memories/internal/obs"
+	"memories/internal/tracefile"
+	"memories/internal/workload"
+)
+
+// Session modes: a session is driven either by raw trace records (the
+// board replays them directly) or by a synthetic workload spec (a
+// modeled host generates the bus stream). Mixing the two in one
+// session would interleave two incompatible bus clocks, so the first
+// ingest fixes the mode.
+const (
+	modeUnset = iota
+	modeTrace
+	modeWorkload
+)
+
+// ingestLatencyBounds bucket the enqueue→applied wait of one ingest
+// block, in nanoseconds (64µs .. 4s).
+var ingestLatencyBounds = []uint64{
+	1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+	1 << 26, 1 << 28, 1 << 30, 1 << 32,
+}
+
+// block is one unit of queued ingest work.
+type block struct {
+	recs []tracefile.Record // trace mode
+	gen  workload.Generator // workload mode: swap generator first (may be nil)
+	refs uint64             // workload mode: references to run
+	enq  time.Time
+}
+
+// Session is one tenant's board (and, in workload mode, its modeled
+// host), fed by a single worker goroutine through a bounded queue.
+//
+// Locking: mu guards the board, host, and trace-clock fields. The
+// worker holds it while applying a block; HTTP handlers hold it while
+// reading stats or writing checkpoints. The board's counters are plain
+// single-writer 40-bit counters, so every touch goes through mu — the
+// lock-free mirror path is reserved for /metrics scrapes.
+type Session struct {
+	ID      string
+	srv     *Server
+	created time.Time
+
+	mu    sync.Mutex
+	board *core.Board
+	h     *host.Host   // nil until the first workload ingest
+	mode  atomic.Int32 // modeUnset/modeTrace/modeWorkload
+	seq   uint64       // trace-mode bus sequence stamp
+	cycle uint64       // trace-mode bus cycle stamp
+	txbuf []bus.Transaction
+
+	hcfg     host.Config // host configuration if workload mode engages
+	lineSize int64
+
+	// Intake: senders hold sendMu.RLock and test closed before posting
+	// to blocks; closeIntake write-locks, flips closed, and closes the
+	// channel, so no send can race the close.
+	sendMu   sync.RWMutex
+	closed   bool
+	blocks   chan block
+	inflight atomic.Int64
+	done     chan struct{}
+
+	ingested atomic.Uint64 // records/refs applied to the board
+	accepted atomic.Uint64 // records/refs admitted to the queue
+	rejected atomic.Uint64 // ingest requests bounced with 429
+
+	dirBytes   int64
+	warmStart  string // corpus checkpoint the session restored from
+	eccHealed  uint64 // ECC repairs made while warm-starting
+	lastCkpt   string
+	cIngested  *obs.Counter
+	cRejected  *obs.Counter
+	latHist    *obs.Histogram
+	queueGauge string
+}
+
+var idRx = regexp.MustCompile(`^[a-zA-Z0-9_.-]{1,64}$`)
+
+// newSession allocates the board, attaches it to the registry under
+// "session.<id>", and starts the worker.
+func (s *Server) newSession(id string, bcfg core.Config, hcfg host.Config, lineSize int64) (*Session, error) {
+	b, err := core.NewBoard(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{
+		ID:       id,
+		srv:      s,
+		created:  time.Now(),
+		board:    b,
+		hcfg:     hcfg,
+		lineSize: lineSize,
+		blocks:   make(chan block, s.cfg.MaxInflight),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < b.NumNodes(); i++ {
+		sess.dirBytes += b.DirectoryBytes(i)
+	}
+	prefix := "session." + id
+	if err := b.Observe(s.reg, nil, prefix, 0); err != nil {
+		return nil, err
+	}
+	sess.cIngested = s.reg.Counter(prefix + ".ingest.records")
+	sess.cRejected = s.reg.Counter(prefix + ".ingest.retry-posted")
+	sess.latHist = s.reg.Histogram(prefix+".ingest.wait_ns", ingestLatencyBounds)
+	sess.queueGauge = prefix + ".ingest.queue"
+	s.reg.RegisterGaugeFunc(sess.queueGauge, func() float64 {
+		return float64(sess.inflight.Load())
+	})
+	go sess.worker()
+	return sess, nil
+}
+
+// worker is the session's single consumer: it owns all board mutation.
+func (s *Session) worker() {
+	defer close(s.done)
+	for blk := range s.blocks {
+		s.apply(blk)
+		s.inflight.Add(-1)
+		s.latHist.Observe(uint64(time.Since(blk.enq)))
+	}
+}
+
+// apply runs one block against the board under the session lock.
+func (s *Session) apply(blk block) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hook := s.srv.applyHook; hook != nil {
+		hook()
+	}
+	var n uint64
+	if blk.recs != nil {
+		txs := s.txbuf[:0]
+		for _, r := range blk.recs {
+			s.cycle++
+			s.seq++
+			txs = append(txs, bus.Transaction{
+				Seq:   s.seq,
+				Cycle: s.cycle,
+				Cmd:   r.Cmd,
+				Addr:  r.Addr,
+				Size:  int(s.lineSize),
+				SrcID: int(r.SrcID),
+			})
+		}
+		s.txbuf = txs
+		s.board.SnoopBatch(txs)
+		s.board.Flush()
+		n = uint64(len(blk.recs))
+	} else {
+		if blk.gen != nil {
+			s.h.SetWorkload(blk.gen)
+		}
+		n = s.h.Run(blk.refs)
+		s.board.Flush()
+	}
+	s.ingested.Add(n)
+	s.cIngested.Add(n)
+	s.srv.cRecords.Add(n)
+	s.board.PublishObs()
+}
+
+// enqueue posts a block, applying the board's §3.3 flow control: a
+// full queue is the full transaction buffer, so the caller gets the
+// HTTP bus-retry (ok=false → 429) and owns the re-issue.
+func (s *Session) enqueue(blk block) (ok, closed bool) {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return false, true
+	}
+	select {
+	case s.blocks <- blk:
+		s.inflight.Add(1)
+		return true, false
+	default:
+		s.rejected.Add(1)
+		s.cRejected.Inc()
+		s.srv.cRetryPosted.Inc()
+		return false, false
+	}
+}
+
+// setMode fixes the session's drive mode on first ingest; a later
+// ingest of the other kind is refused (ok=false).
+func (s *Session) setMode(m int32) bool {
+	if s.mode.CompareAndSwap(modeUnset, m) {
+		return true
+	}
+	return s.mode.Load() == m
+}
+
+// ensureHost lazily builds the modeled host the first time a workload
+// spec arrives, attaching the board to its bus. Safe to call from the
+// ingest handler: the worker never touches s.h before the first
+// workload block, and that block cannot be queued until this returns.
+func (s *Session) ensureHost() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.h != nil {
+		return nil
+	}
+	h, err := host.New(s.hcfg, nil)
+	if err != nil {
+		return err
+	}
+	h.Bus().Attach(s.board)
+	s.h = h
+	return nil
+}
+
+// closeIntake stops accepting blocks; the worker drains what is queued
+// and exits. Idempotent.
+func (s *Session) closeIntake() {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.blocks)
+	}
+}
+
+// checkpointTo flushes the board and writes its checkpoint crash-
+// safely to dir/<id>.ckpt, returning the path.
+func (s *Session) checkpointTo(dir string) (string, error) {
+	path := filepath.Join(dir, s.ID+".ckpt")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.board.Flush()
+	s.board.PublishObs()
+	if err := s.board.WriteCheckpointFile(path); err != nil {
+		return "", fmt.Errorf("service: checkpoint session %s: %w", s.ID, err)
+	}
+	s.lastCkpt = path
+	return path, nil
+}
+
+// warmStartFrom restores the board from a checkpoint file in the
+// corpus directory. Must run before any ingest (the caller holds the
+// only reference at create time, so no locking races).
+func (s *Session) warmStartFrom(corpusDir, name string) error {
+	if corpusDir == "" {
+		return fmt.Errorf("service: warm starts disabled (no corpus dir)")
+	}
+	// The name must be a bare file name inside the corpus — reject
+	// path traversal outright rather than cleaning it.
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("service: warm-start name %q must be a bare corpus file name", name)
+	}
+	snap, err := checkpoint.ReadFile(filepath.Join(corpusDir, name))
+	if err != nil {
+		return err
+	}
+	rep, err := core.RestoreBoard(s.board, snap)
+	if err != nil {
+		return err
+	}
+	s.warmStart = name
+	s.eccHealed = rep.ECCCorrected
+	// The restored board carries its checkpointed cycle clock; trace
+	// stamping must resume after it or the drain ordering would see
+	// time run backwards.
+	s.cycle = s.board.LastCycle()
+	s.seq = s.cycle
+	s.board.PublishObs()
+	return nil
+}
+
+// teardown detaches the session's metrics namespace.
+func (s *Session) teardown() {
+	s.closeIntake()
+	<-s.done
+	s.srv.reg.RemovePrefix("session." + s.ID)
+}
+
+// buildBoardConfig translates a create request into a board config,
+// validating geometry, policy, and protocol.
+func buildBoardConfig(req *CreateRequest) (core.Config, host.Config, int64, error) {
+	if req.Cache == "" {
+		req.Cache = "1MB"
+	}
+	size, err := addr.ParseSize(req.Cache)
+	if err != nil {
+		return core.Config{}, host.Config{}, 0, err
+	}
+	line := req.LineBytes
+	if line == 0 {
+		line = 128
+	}
+	assoc := req.Assoc
+	if assoc == 0 {
+		assoc = 8
+	}
+	g, err := addr.NewGeometry(size, line, assoc)
+	if err != nil {
+		return core.Config{}, host.Config{}, 0, err
+	}
+	pol := cache.LRU
+	if req.Policy != "" {
+		if pol, err = cache.ParsePolicy(req.Policy); err != nil {
+			return core.Config{}, host.Config{}, 0, err
+		}
+	}
+	protoName := strings.ToLower(req.Protocol)
+	if protoName == "" {
+		protoName = "mesi"
+	}
+	proto := coherence.Builtin(protoName)
+	if proto == nil {
+		return core.Config{}, host.Config{}, 0, fmt.Errorf("service: unknown protocol %q", protoName)
+	}
+	ncpu := req.CPUs
+	if ncpu == 0 {
+		ncpu = 8
+	}
+	if ncpu < 1 || ncpu > core.MaxBusID {
+		return core.Config{}, host.Config{}, 0, fmt.Errorf("service: cpus %d out of range [1,%d]", ncpu, core.MaxBusID)
+	}
+	cpus := make([]int, ncpu)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	bcfg := core.Config{
+		Nodes: []core.NodeConfig{{
+			Name:     "a",
+			CPUs:     cpus,
+			Geometry: g,
+			Policy:   pol,
+			Protocol: proto,
+		}},
+		ECC: req.ECC,
+	}
+	hcfg := host.DefaultConfig()
+	hcfg.NumCPUs = ncpu
+	hcfg.LineSize = line
+	if req.Seed != 0 {
+		hcfg.Seed = req.Seed
+	}
+	// The packed directory stores one 8-byte word per slot (DESIGN.md
+	// §4c); computing the footprint from the geometry lets the quota
+	// check run before the board allocates anything.
+	dirBytes := (g.SizeBytes / g.LineSize) * 8
+	return bcfg, hcfg, dirBytes, nil
+}
