@@ -45,6 +45,7 @@ fuzz-long:
 	$(GO) test ./internal/console/ -run FuzzConsoleCommand -fuzz FuzzConsoleCommand -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/checkpoint/ -run FuzzSnapshotDecode -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run FuzzCheckpointRestore -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tracefile/ -run FuzzV2MmapDecode -fuzz FuzzV2MmapDecode -fuzztime $(FUZZTIME)
 
 # The fault-injection acceptance sweep at CI scale (~seconds), run
 # serially (-parallel 1) so the output is the deterministic golden run.
@@ -94,6 +95,28 @@ bench-trace:
 	$(GO) test -run '^$$' -bench 'TraceRead' -benchtime 20000x -count $(BENCHCOUNT) -cpu 1,2,4 . | tee bench-trace.txt
 	$(GO) run ./cmd/benchdiff -current bench-trace.txt \
 		-ratio-base BenchmarkTraceReadV1 -ratio-new BenchmarkTraceReadV2Pipeline -min-ratio 2.0
+
+# The sustained raw-speed gate: the MPSC-ring pipeline's tx/s metric is
+# compared against the committed baseline HIGHER-is-better (-gate-up), so
+# every rate that lands in ci/bench-throughput-baseline.txt becomes a
+# ratcheted floor — improvements pass and re-baseline, regressions fail.
+# ns/op on the same lines is gated lower-is-better by the default
+# comparison; the two directions agree (slower = fail). -cpu 8 keeps the
+# benchfmt key identical across runner core counts.
+THROUGHPUT_BENCHTIME ?= 500000x
+THROUGHPUT_COUNT ?= 5
+.PHONY: bench-throughput
+bench-throughput:
+	$(GO) test -run '^$$' -bench BoardSustainedTxPerSec -benchtime $(THROUGHPUT_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee bench-throughput.txt
+	$(GO) run ./cmd/benchdiff -baseline ci/bench-throughput-baseline.txt -current bench-throughput.txt \
+		-filter 'SustainedTxPerSec' -threshold 0.10 -gate-up 'tx/s'
+
+# Refresh the committed throughput baseline (run on the CI runner class
+# you gate on — raising the floor is deliberate, done by committing the
+# refreshed file).
+.PHONY: bench-throughput-baseline
+bench-throughput-baseline:
+	$(GO) test -run '^$$' -bench BoardSustainedTxPerSec -benchtime $(THROUGHPUT_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee ci/bench-throughput-baseline.txt
 
 # The process-level crash-safety oracle: builds cmd/experiments, kills
 # it with SIGKILL mid-sweep, resumes from its journal, and requires

@@ -8,6 +8,10 @@
 //     allocs/op, ...) with the same threshold; a metric that was 0 in the
 //     baseline and nonzero now always fails, so an allocation-free hot
 //     path cannot quietly start allocating;
+//   - gates the comma-separated -gate-up metrics (tx/s, records/s, ...)
+//     with higher-is-better semantics: failing only when the current
+//     value falls below the baseline by more than -threshold, never on
+//     improvement — the ratcheted floor for throughput benchmarks;
 //   - optionally checks that the -speedup benchmark's highest -cpu
 //     variant is at least -min-speedup times faster than its lowest, and
 //     that -parity metrics are bit-identical across -cpu variants;
@@ -57,6 +61,7 @@ func main() {
 		threshold    = flag.Float64("threshold", 0.10, "relative ns/op regression that fails the gate")
 		filter       = flag.String("filter", "Table3|Fig8", "regexp of benchmark names the gate guards")
 		gate         = flag.String("gate", "", "comma-separated extra metrics to gate at -threshold (e.g. 'B/op,allocs/op')")
+		gateUp       = flag.String("gate-up", "", "comma-separated higher-is-better metrics to gate at -threshold (e.g. 'tx/s')")
 		jsonPath     = flag.String("json", "", "write a JSON artifact of summaries and deltas")
 		speedup      = flag.String("speedup", "", "benchmark whose -cpu scaling to check")
 		minSpeedup   = flag.Float64("min-speedup", 2.5, "minimum highest-vs-lowest -cpu speedup")
@@ -94,30 +99,34 @@ func main() {
 			fmt.Printf("%-50s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n",
 				name(d.Key), d.Old, d.New, (d.Ratio-1)*100, status)
 		}
-		for _, metric := range strings.Split(*gate, ",") {
-			metric = strings.TrimSpace(metric)
-			if metric == "" {
-				continue
-			}
-			mds := benchfmt.CompareMetric(art.Baseline, current, metric, *threshold, re)
-			if len(mds) == 0 {
-				fatal(fmt.Errorf("no benchmarks matching %q report %s in both files", *filter, metric))
-			}
-			art.MetricDeltas = append(art.MetricDeltas, mds...)
-			for _, d := range mds {
-				status := "ok"
-				if d.Regressed {
-					status = "REGRESSED"
-					failed = true
+		gateList := func(list string, compare func([]benchfmt.Summary, []benchfmt.Summary, string, float64, *regexp.Regexp) []benchfmt.MetricDelta) {
+			for _, metric := range strings.Split(list, ",") {
+				metric = strings.TrimSpace(metric)
+				if metric == "" {
+					continue
 				}
-				change := fmt.Sprintf("%+6.1f%%", (d.Ratio-1)*100)
-				if d.Old == 0 {
-					change = "   n/a" // a zero baseline has no finite ratio
+				mds := compare(art.Baseline, current, metric, *threshold, re)
+				if len(mds) == 0 {
+					fatal(fmt.Errorf("no benchmarks matching %q report %s in both files", *filter, metric))
 				}
-				fmt.Printf("%-50s %10.1f -> %10.1f %-9s %s  %s\n",
-					name(d.Key), d.Old, d.New, d.Metric, change, status)
+				art.MetricDeltas = append(art.MetricDeltas, mds...)
+				for _, d := range mds {
+					status := "ok"
+					if d.Regressed {
+						status = "REGRESSED"
+						failed = true
+					}
+					change := fmt.Sprintf("%+6.1f%%", (d.Ratio-1)*100)
+					if d.Old == 0 {
+						change = "   n/a" // a zero baseline has no finite ratio
+					}
+					fmt.Printf("%-50s %14.1f -> %14.1f %-9s %s  %s\n",
+						name(d.Key), d.Old, d.New, d.Metric, change, status)
+				}
 			}
 		}
+		gateList(*gate, benchfmt.CompareMetric)
+		gateList(*gateUp, benchfmt.CompareMetricUp)
 	}
 
 	if *speedup != "" {

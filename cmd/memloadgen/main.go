@@ -207,7 +207,20 @@ type driveConfig struct {
 // bounded worker pool and every accepted request's latency is
 // recorded.
 func drive(cfg driveConfig) (result, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
+	// The default transport keeps only 2 idle connections per host, so
+	// at concurrency 128 the retry loop re-dials almost every request —
+	// handshake latency lands in the p99 and pollutes the loadtest
+	// baseline. Size the idle pool to the worker pool and the whole run
+	// reuses one keep-alive connection per in-flight lifecycle.
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.concurrency,
+			MaxIdleConnsPerHost: cfg.concurrency,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	defer client.CloseIdleConnections()
 	var (
 		mu       sync.Mutex
 		ingestNs []int64
@@ -239,6 +252,9 @@ func drive(cfg driveConfig) (result, error) {
 				return err
 			}
 			rb, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			// Drain any remainder: a connection with unread body bytes is
+			// closed instead of returned to the keep-alive pool.
+			_, _ = io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			switch resp.StatusCode {
 			case want:
@@ -351,6 +367,9 @@ func pollDrained(client *http.Client, url string, deadline time.Time) error {
 			Queue    int64  `json:"queue_depth"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
+		// Drain past the decoder's stopping point so the connection goes
+		// back to the keep-alive pool for the next poll.
+		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if err != nil {
 			return err

@@ -52,6 +52,7 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		corpusDir    = fs.String("corpus-dir", "", "warm-start checkpoint corpus (empty: warm starts disabled)")
 		drainTimeout = fs.Duration("drain-timeout", 60*time.Second, "maximum time to drain sessions on shutdown")
 		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		pprofFlag    = fs.Bool("pprof", false, "expose /debug/pprof endpoints for live profiling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -80,6 +81,7 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		CheckpointDir:     *ckptDir,
 		CorpusDir:         *corpusDir,
 		RetryAfter:        *retryAfter,
+		EnablePprof:       *pprofFlag,
 	})
 	if err := srv.Start(*addrFlag); err != nil {
 		fmt.Fprintf(logw, "memoriesd: listen: %v\n", err)

@@ -11,11 +11,24 @@
 //	tracesim -l3 64MB -assoc 8 tpcc.trace
 //	tracesim -l3 8GB -checkpoint warm.ckpt -checkpoint-every 50000000 big.trace
 //	tracesim -l3 8GB -resume warm.ckpt big.trace
+//	tracesim -board -shards 8 -pin -l3 64MB tpcc.trace
+//
+// Regular files are ingested zero-copy via mmap
+// (tracefile.ForEachBatchFile); pipes and non-mmap platforms fall back
+// to the streaming reader transparently.
 //
 // With -checkpoint, SIGINT/SIGTERM stops the replay at the next batch
 // boundary and writes a final checkpoint; -resume skips the already
 // simulated prefix of the trace and continues from the saved cache
 // state, producing the same final statistics as an uninterrupted run.
+//
+// With -board the trace replays through the sharded MPSC-ring pipeline
+// (core.ShardedBoard) instead of the serial simulator and the output is
+// the sustained replay rate, including a `go test -bench`-format line so
+// cmd/benchdiff can gate the rate against a baseline. -shards picks the
+// shard count (0: GOMAXPROCS) and -pin binds each shard worker to its
+// NUMA-placed CPU. Board mode measures throughput, so it cannot be
+// combined with -checkpoint, -resume, or -obs.
 package main
 
 import (
@@ -31,6 +44,7 @@ import (
 
 	"memories"
 	"memories/internal/addr"
+	"memories/internal/bus"
 	"memories/internal/cache"
 	"memories/internal/checkpoint"
 	"memories/internal/coherence"
@@ -108,15 +122,18 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		l3       = flag.String("l3", "64MB", "emulated cache size")
-		assoc    = flag.Int("assoc", 8, "associativity")
-		line     = flag.Int64("line", 128, "line size in bytes")
-		ncpu     = flag.Int("cpus", 8, "host CPUs covered by the trace")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "decode workers for v2 traces")
-		obsAddr  = flag.String("obs", "", "serve live replay metrics on this address (e.g. :9090)")
-		ckptPath = flag.String("checkpoint", "", "write crash-safe replay checkpoints to this file")
-		ckptN    = flag.Uint64("checkpoint-every", 0, "checkpoint every N trace records (0: only on shutdown signal)")
-		resume   = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		l3        = flag.String("l3", "64MB", "emulated cache size")
+		assoc     = flag.Int("assoc", 8, "associativity")
+		line      = flag.Int64("line", 128, "line size in bytes")
+		ncpu      = flag.Int("cpus", 8, "host CPUs covered by the trace")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "decode workers for v2 traces")
+		obsAddr   = flag.String("obs", "", "serve live replay metrics on this address (e.g. :9090)")
+		ckptPath  = flag.String("checkpoint", "", "write crash-safe replay checkpoints to this file")
+		ckptN     = flag.Uint64("checkpoint-every", 0, "checkpoint every N trace records (0: only on shutdown signal)")
+		resume    = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		boardMode = flag.Bool("board", false, "replay through the sharded board pipeline and report sustained tx/s")
+		shards    = flag.Int("shards", 0, "shard count for -board (power of two; 0: GOMAXPROCS)")
+		pin       = flag.Bool("pin", false, "pin -board shard workers to their NUMA-placed CPUs")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -135,6 +152,12 @@ func run() int {
 	cpus := make([]int, *ncpu)
 	for i := range cpus {
 		cpus[i] = i
+	}
+	if *boardMode {
+		if *ckptPath != "" || *resume != "" || *obsAddr != "" {
+			return fail(errors.New("-board measures throughput; it cannot be combined with -checkpoint, -resume, or -obs"))
+		}
+		return runBoard(flag.Arg(0), geom, cpus, *shards, *pin, *workers, profFlags)
 	}
 	sim, err := simbase.NewTraceSim([]simbase.TraceNodeConfig{{
 		CPUs:     cpus,
@@ -159,12 +182,6 @@ func run() int {
 			*ckptPath = *resume
 		}
 	}
-
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		return fail(err)
-	}
-	defer f.Close()
 
 	stopProf, err := profFlags.Start()
 	if err != nil {
@@ -209,7 +226,7 @@ func run() int {
 		nextCkpt = (state.pos/(*ckptN) + 1) * (*ckptN)
 	}
 	start := time.Now()
-	_, err = tracefile.ForEachBatch(f, *workers, func(recs []tracefile.Record) error {
+	_, err = tracefile.ForEachBatchFile(flag.Arg(0), *workers, func(recs []tracefile.Record) error {
 		// Fast-forward through the already simulated prefix on resume.
 		if fileOff < resumeSkip {
 			skip := resumeSkip - fileOff
@@ -269,6 +286,72 @@ func run() int {
 		float64(n)/elapsed.Seconds()/1e6)
 	board := core.PaperRealTimeModel().Duration(n)
 	fmt.Printf("MemorIES would have processed this trace in %v (real-time model, §4.1)\n", board)
+	return 0
+}
+
+// runBoard replays the trace flat-out through the sharded MPSC-ring
+// pipeline and reports the sustained transaction rate. Every record
+// feeds the board; nothing is filtered, checkpointed, or mirrored into
+// a registry — this mode exists to measure how fast the emulation core
+// itself can drink a real trace, end to end from the mmap'd file bytes.
+func runBoard(path string, geom addr.Geometry, cpus []int, shards int, pin bool, workers int, profFlags *prof.Config) int {
+	sb, err := core.NewShardedBoard(core.Config{Nodes: []core.NodeConfig{{
+		Name:     "l3",
+		CPUs:     cpus,
+		Geometry: geom,
+		Policy:   cache.LRU,
+		Protocol: coherence.MESI(),
+	}}}, core.ShardedConfig{Shards: shards, Pin: pin})
+	if err != nil {
+		return fail(err)
+	}
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		return fail(err)
+	}
+	defer stopProf()
+
+	lineSize := int(geom.LineSize)
+	var cycle uint64
+	start := time.Now()
+	sb.Start()
+	feeder := sb.NewFeeder()
+	n, err := tracefile.ForEachBatchFile(path, workers, func(recs []tracefile.Record) error {
+		for i := range recs {
+			cycle += 48
+			feeder.Snoop(bus.Transaction{
+				Cmd:   recs[i].Cmd,
+				Addr:  recs[i].Addr,
+				Size:  lineSize,
+				SrcID: int(recs[i].SrcID),
+				Cycle: cycle,
+			})
+		}
+		return nil
+	})
+	feeder.Flush()
+	sb.Stop()
+	elapsed := time.Since(start)
+	if err != nil {
+		return fail(err)
+	}
+
+	var misses, refs uint64
+	for i := 0; i < sb.NumNodes(); i++ {
+		misses += sb.Node(i).Misses()
+		refs += sb.Node(i).Refs()
+	}
+	rate := float64(n) / elapsed.Seconds()
+	fmt.Printf("trace      %s: %d records\n", path, n)
+	fmt.Printf("board      %s, %d shards (pin=%v)\n", geom, sb.Shards(), pin)
+	if refs > 0 {
+		fmt.Printf("refs       %d, miss ratio %.4f\n", refs, float64(misses)/float64(refs))
+	}
+	fmt.Printf("replay     %v sustained, %.2fM tx/s\n", elapsed.Round(time.Millisecond), rate/1e6)
+	// One `go test -bench` format line so cmd/benchdiff can gate the
+	// replay rate (higher-is-better on tx/s) against a baseline file.
+	fmt.Printf("BenchmarkTracesimReplayRate/shards%d 1 %.1f ns/op %.0f tx/s\n",
+		sb.Shards(), float64(elapsed.Nanoseconds())/float64(n), rate)
 	return 0
 }
 

@@ -180,10 +180,17 @@ type MetricDelta struct {
 	Old, New float64
 	// Ratio is New/Old (0 when Old is 0; see Regressed for that case).
 	Ratio float64
-	// Regressed is true when New exceeds Old by more than the gate's
-	// threshold — or when Old is 0 and New is not, so a formerly
-	// allocation-free benchmark that starts allocating always trips the
-	// gate regardless of threshold.
+	// HigherBetter records which direction this delta was gated in:
+	// false for cost metrics (ns/op, B/op), true for rate metrics
+	// (tx/s), where shrinking is the regression.
+	HigherBetter bool
+	// Regressed is true when the metric moved in the bad direction by
+	// more than the gate's threshold — grew, for lower-is-better
+	// metrics; shrank, for higher-is-better ones. A zero baseline with
+	// a nonzero bad-direction current regresses unconditionally (a
+	// formerly allocation-free benchmark that starts allocating trips
+	// the gate at any threshold); a zero *current* on a higher-is-better
+	// metric likewise always regresses (the rate collapsed).
 	Regressed bool
 }
 
@@ -195,6 +202,20 @@ type MetricDelta struct {
 // regresses unconditionally. Benchmarks or metrics present on only one
 // side are skipped: the gate guards kernels measured in both runs.
 func CompareMetric(baseline, current []Summary, metric string, threshold float64, filter *regexp.Regexp) []MetricDelta {
+	return compareMetric(baseline, current, metric, threshold, filter, false)
+}
+
+// CompareMetricUp is CompareMetric for higher-is-better metrics (tx/s,
+// records/s): a delta regresses when the current value falls below the
+// baseline by more than threshold (0.10 = −10%), never on improvement.
+// A zero current value with a nonzero baseline regresses
+// unconditionally; a zero baseline passes (nothing to ratchet against
+// yet — the next refresh records the rate).
+func CompareMetricUp(baseline, current []Summary, metric string, threshold float64, filter *regexp.Regexp) []MetricDelta {
+	return compareMetric(baseline, current, metric, threshold, filter, true)
+}
+
+func compareMetric(baseline, current []Summary, metric string, threshold float64, filter *regexp.Regexp, higherBetter bool) []MetricDelta {
 	base := map[Key]Summary{}
 	for _, s := range baseline {
 		base[s.Key] = s
@@ -220,10 +241,19 @@ func CompareMetric(baseline, current []Summary, metric string, threshold float64
 		if !bok || !cok {
 			continue
 		}
-		d := MetricDelta{Key: cur.Key, Metric: metric, Old: bv, New: cv}
-		if bv == 0 {
-			d.Regressed = cv > 0
-		} else {
+		d := MetricDelta{Key: cur.Key, Metric: metric, Old: bv, New: cv, HigherBetter: higherBetter}
+		switch {
+		case bv == 0:
+			// No baseline rate to fall below; for cost metrics any new
+			// nonzero value is a regression.
+			d.Regressed = !higherBetter && cv > 0
+		case higherBetter:
+			d.Ratio = cv / bv
+			// A collapsed rate (0 against a nonzero baseline) fails at
+			// any threshold, mirroring the cost metrics' zero-baseline
+			// rule.
+			d.Regressed = cv == 0 || d.Ratio < 1-threshold
+		default:
 			d.Ratio = cv / bv
 			d.Regressed = d.Ratio > 1+threshold
 		}

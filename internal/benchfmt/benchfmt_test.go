@@ -227,3 +227,49 @@ func TestMedianEven(t *testing.T) {
 		t.Fatalf("even median = %v", got)
 	}
 }
+
+// TestCompareMetricUpGatesThroughput: the higher-is-better gate fails
+// only when a rate metric falls, never when it rises — the direction
+// the tx/s throughput floor needs.
+func TestCompareMetricUpGatesThroughput(t *testing.T) {
+	const txSample = "BenchmarkBoardSustainedTxPerSec/shards8-8 \t 1000 \t 50.0 ns/op \t %g tx/s\n"
+	parse := func(rate float64) []Summary {
+		t.Helper()
+		rs, err := Parse(strings.NewReader(fmt.Sprintf(txSample, rate)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Summarize(rs)
+	}
+	base := parse(100e6)
+	filter := regexp.MustCompile(`SustainedTxPerSec`)
+
+	// A 3x improvement must pass (the lower-is-better gate would fail it).
+	mds := CompareMetricUp(base, parse(300e6), "tx/s", 0.10, filter)
+	if len(mds) != 1 || mds[0].Regressed {
+		t.Fatalf("3x throughput improvement flagged as regression: %+v", mds)
+	}
+	if !mds[0].HigherBetter {
+		t.Fatalf("delta not marked higher-is-better: %+v", mds[0])
+	}
+	if down := CompareMetric(base, parse(300e6), "tx/s", 0.10, filter); len(down) != 1 || !down[0].Regressed {
+		t.Fatalf("sanity: lower-is-better gate should fail a 3x rate rise: %+v", down)
+	}
+
+	// A 5% dip passes a 10% threshold; a 50% dip fails.
+	if mds := CompareMetricUp(base, parse(95e6), "tx/s", 0.10, filter); len(mds) != 1 || mds[0].Regressed {
+		t.Fatalf("5%% dip tripped the 10%% gate: %+v", mds)
+	}
+	if mds := CompareMetricUp(base, parse(50e6), "tx/s", 0.10, filter); len(mds) != 1 || !mds[0].Regressed {
+		t.Fatalf("50%% throughput collapse not flagged: %+v", mds)
+	}
+
+	// Zero current = collapsed rate, regresses at any threshold; zero
+	// baseline passes (first measurement, nothing to ratchet).
+	if mds := CompareMetricUp(base, parse(0), "tx/s", 10.0, filter); len(mds) != 1 || !mds[0].Regressed {
+		t.Fatalf("zero current rate not flagged: %+v", mds)
+	}
+	if mds := CompareMetricUp(parse(0), parse(100e6), "tx/s", 0.10, filter); len(mds) != 1 || mds[0].Regressed {
+		t.Fatalf("zero baseline flagged: %+v", mds)
+	}
+}

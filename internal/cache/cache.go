@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memories/internal/addr"
 	"memories/internal/sdram"
@@ -142,7 +143,13 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // The hardware-realistic associativities (1/2/4/8 ways, Table 2) take
 // unrolled fast paths over array views so the per-way bounds checks and
 // induction-variable overhead of the generic scan disappear from the
-// snoop hot loop.
+// snoop hot loop. Assoc 4 and 8 go further, SWAR-style: every way's
+// match bit is computed branch-free (wayMatch) and merged into one
+// mask, so a whole set costs one predictable mask!=0 branch instead of
+// one data-dependent branch per way — on a snoop stream the hit way is
+// effectively random, and those per-way branches mispredict constantly.
+// TrailingZeros on the mask recovers the lowest matching way, keeping
+// the first-match contract of the sequential scan.
 func (c *Cache) findWay(base int64, tag uint64) int {
 	if tag > sdram.WordTagMask {
 		return -1 // wider than the packed tag field: cannot be resident
@@ -164,17 +171,25 @@ func (c *Cache) findWay(base int64, tag uint64) int {
 		}
 	case 4:
 		ws := (*[4]sdram.Word)(c.words[base:])
-		for w := 0; w < 4; w++ {
-			if (uint64(ws[w])>>shift^probe)-1 < mask {
-				return w
-			}
+		m := wayMatch(uint64(ws[0])>>shift^probe) |
+			wayMatch(uint64(ws[1])>>shift^probe)<<1 |
+			wayMatch(uint64(ws[2])>>shift^probe)<<2 |
+			wayMatch(uint64(ws[3])>>shift^probe)<<3
+		if m != 0 {
+			return bits.TrailingZeros64(m)
 		}
 	case 8:
 		ws := (*[8]sdram.Word)(c.words[base:])
-		for w := 0; w < 8; w++ {
-			if (uint64(ws[w])>>shift^probe)-1 < mask {
-				return w
-			}
+		m := wayMatch(uint64(ws[0])>>shift^probe) |
+			wayMatch(uint64(ws[1])>>shift^probe)<<1 |
+			wayMatch(uint64(ws[2])>>shift^probe)<<2 |
+			wayMatch(uint64(ws[3])>>shift^probe)<<3 |
+			wayMatch(uint64(ws[4])>>shift^probe)<<4 |
+			wayMatch(uint64(ws[5])>>shift^probe)<<5 |
+			wayMatch(uint64(ws[6])>>shift^probe)<<6 |
+			wayMatch(uint64(ws[7])>>shift^probe)<<7
+		if m != 0 {
+			return bits.TrailingZeros64(m)
 		}
 	default:
 		ws := c.words[base : base+int64(c.geom.Assoc)]
@@ -185,6 +200,18 @@ func (c *Cache) findWay(base int64, tag uint64) int {
 		}
 	}
 	return -1
+}
+
+// wayMatch is the branch-free per-way match bit: 1 when x (the way's
+// word with check+rank bits shifted away, XORed against the pre-shifted
+// probe tag) denotes a valid matching line, i.e. x-1 < 15 unsigned.
+// The naive ((x-1)-15)>>63 sign trick is wrong at the wraparound point
+// (x == 0, an all-zero invalid word, makes x-1 the max uint64); the
+// subtract-with-borrow below handles the full range and compiles to a
+// single SBB.
+func wayMatch(x uint64) uint64 {
+	_, borrow := bits.Sub64(x-1, uint64(sdram.WordStateMask), 0)
+	return borrow
 }
 
 // Probe looks a line up without modifying replacement state. It returns

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"memories/internal/bus"
+)
+
+// This file implements the feeder→shard handoff as a bounded
+// multi-producer/single-consumer ring of transaction batches, replacing
+// the buffered-channel hop. The design is the classic bounded MPMC
+// queue specialized for one consumer: slots carry a per-slot sequence
+// number, producers claim positions with one fetch-add on the tail, and
+// every slot is written by exactly one producer per lap (the
+// "single-writer" property — no slot is ever contended between two
+// writers at the same position). The consumer owns the head without any
+// atomics on it.
+//
+// Ordering: a producer's successive Enqueue calls claim strictly
+// increasing positions and the consumer drains positions in order, so
+// per-producer FIFO — the property the deterministic drain relies on —
+// is preserved exactly as it was with a channel. A producer that claims
+// position p publishes it by storing seq=p+1 into the slot *after*
+// writing the batch pointer; the consumer's matching atomic load
+// acquires that write. If a later producer at p+1 publishes first, the
+// consumer still waits on p: global slot order is position order.
+//
+// Capacity bounds feeder run-ahead just like the channel's buffer did:
+// a producer whose claimed slot has not been freed by the consumer
+// spins (briefly), yields, and finally sleeps until the slot comes
+// around.
+
+// cacheLine is the assumed coherence-line size used to pad ring fields
+// so that producer-side state (tail), consumer-side state (head), and
+// each slot's sequence word live on distinct lines.
+const cacheLine = 64
+
+// ringSlot is one batch cell, padded to a full cache line so adjacent
+// slots never false-share between the producer publishing slot i and
+// the consumer freeing slot i-1.
+type ringSlot struct {
+	seq   atomic.Uint64
+	batch *[]bus.Transaction
+	_     [cacheLine - 16]byte
+}
+
+// txRing is the bounded MPSC batch ring. Producers call Enqueue
+// (blocking when full); the single consumer calls Dequeue (blocking
+// when empty) until Close has been observed with the ring drained.
+type txRing struct {
+	mask  uint64
+	slots []ringSlot
+
+	_    [cacheLine]byte // keep tail off the slots header's line
+	tail atomic.Uint64   // next position a producer will claim
+
+	_      [cacheLine]byte // producers bang on tail; head is consumer-only
+	head   uint64          // next position the consumer will read
+	closed atomic.Bool
+
+	_ [cacheLine]byte
+}
+
+// newTxRing builds a ring with capacity rounded up to a power of two
+// (minimum 2).
+func newTxRing(capacity int) *txRing {
+	slots := 2
+	for slots < capacity {
+		slots <<= 1
+	}
+	r := &txRing{mask: uint64(slots - 1), slots: make([]ringSlot, slots)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// ringWait is the shared backoff ladder for full-ring producers and
+// empty-ring consumers: spin a little (the partner is usually one batch
+// away), then yield, then sleep so an idle pipeline does not pin a CPU.
+func ringWait(spin int) {
+	switch {
+	case spin < 64:
+		// Busy-spin: the wait is usually a few hundred ns.
+	case spin < 4096:
+		runtime.Gosched()
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Enqueue publishes one batch, blocking while the ring is full. Safe
+// for any number of concurrent producers.
+func (r *txRing) Enqueue(b *[]bus.Transaction) {
+	pos := r.tail.Add(1) - 1
+	slot := &r.slots[pos&r.mask]
+	// The slot is free for position pos once its sequence equals pos
+	// (the consumer stores pos after consuming pos-capacity).
+	for spin := 0; slot.seq.Load() != pos; spin++ {
+		ringWait(spin)
+	}
+	slot.batch = b
+	slot.seq.Store(pos + 1) // publish: batch write happens-before this store
+}
+
+// Dequeue removes the next batch in position order, blocking while the
+// ring is empty. It returns ok=false once the ring is closed and fully
+// drained. Single consumer only.
+func (r *txRing) Dequeue() (b *[]bus.Transaction, ok bool) {
+	slot := &r.slots[r.head&r.mask]
+	for spin := 0; ; spin++ {
+		if slot.seq.Load() == r.head+1 {
+			break
+		}
+		// Close happens only after every producer has finished, so a
+		// closed ring with tail==head is permanently empty.
+		if r.closed.Load() && r.tail.Load() == r.head {
+			return nil, false
+		}
+		ringWait(spin)
+	}
+	b = slot.batch
+	slot.batch = nil
+	// Free the slot for the producer that will claim position
+	// head+capacity on the next lap.
+	slot.seq.Store(r.head + r.mask + 1)
+	r.head++
+	return b, true
+}
+
+// Close marks the ring finished. It must only be called after every
+// producer has returned from its last Enqueue (the pipeline guarantees
+// this: feeders are flushed before Stop).
+func (r *txRing) Close() { r.closed.Store(true) }

@@ -8,6 +8,7 @@ import (
 
 	"memories/internal/addr"
 	"memories/internal/bus"
+	"memories/internal/numa"
 	"memories/internal/stats"
 )
 
@@ -28,12 +29,15 @@ import (
 // tag/state directory — including its ECC scrub — and runs the full
 // local+snoop group protocol for its addresses without ever reading or
 // writing another shard's state. That is what makes the snoop hot path
-// lock-free: the only synchronization is the fan-out channel handoff,
-// and the only shared-state operation is the final counter aggregation
-// after the workers have quiesced.
+// lock-free: the only synchronization is the fan-out handoff — a
+// bounded MPSC ring per shard (ring.go) — and the only shared-state
+// operation is the final counter aggregation after the workers have
+// quiesced.
 //
-// Determinism: a shard processes its channel FIFO, so the per-shard
-// transaction order is the feed order restricted to that shard. Every
+// Determinism: a shard drains its ring in position order and each
+// producer's enqueues claim strictly increasing positions, so the
+// per-shard transaction order is the feed order restricted to that
+// shard, exactly as with the channel the ring replaced. Every
 // directory outcome (hit/miss, eviction, snoop intervention) depends
 // only on the per-set reference order, and each set lives in exactly
 // one shard — so a pipelined run produces bit-identical per-node
@@ -43,10 +47,10 @@ import (
 // SDRAM channel instead of one channel pacing everything.
 
 // DefaultBatchSize is the fan-out granularity: transactions are handed
-// to shard workers in batches to amortize channel synchronization.
+// to shard workers in batches to amortize handoff synchronization.
 const DefaultBatchSize = 128
 
-// DefaultQueueDepth is the per-shard channel capacity, in batches.
+// DefaultQueueDepth is the per-shard ring capacity, in batches.
 const DefaultQueueDepth = 64
 
 // ShardedConfig tunes the parallel pipeline around a board Config.
@@ -59,10 +63,20 @@ type ShardedConfig struct {
 	// BatchSize is the fan-out batch granularity (default
 	// DefaultBatchSize).
 	BatchSize int
-	// QueueDepth is the per-shard channel capacity in batches (default
-	// DefaultQueueDepth). It bounds feeder run-ahead and with it the
-	// pipeline's memory footprint.
+	// QueueDepth is the per-shard ring capacity in batches (default
+	// DefaultQueueDepth, rounded up to a power of two). It bounds
+	// feeder run-ahead and with it the pipeline's memory footprint.
 	QueueDepth int
+	// Pin locks each shard worker to an OS thread and binds it to one
+	// host CPU chosen from the machine's NUMA topology
+	// (numa.Topology.PlaceShards), so a shard's tag-directory pages —
+	// first touched by its worker — stay node-local. On platforms
+	// without thread affinity the workers are still thread-locked but
+	// roam freely.
+	Pin bool
+	// Topology overrides the detected host topology when pinning;
+	// nil detects the real machine. Ignored unless Pin is set.
+	Topology *numa.Topology
 }
 
 // DrainEvent is one directory operation as replayed by the merge stage,
@@ -87,11 +101,12 @@ type ShardedBoard struct {
 	shardBits uint
 	hashShift uint
 
-	started bool
-	stopped bool
-	chans   []chan []bus.Transaction
-	wg      sync.WaitGroup
-	pool    sync.Pool
+	started   bool
+	stopped   bool
+	rings     []*txRing
+	wg        sync.WaitGroup
+	pools     []*sync.Pool // per-shard batch arenas (recycled slices)
+	placement [][]int      // per-shard pinned CPU set (nil = unpinned)
 
 	observer func(DrainEvent)
 	events   [][]DrainEvent // per-shard drain logs, merged at Stop/Flush
@@ -165,20 +180,37 @@ func NewShardedBoard(cfg Config, scfg ShardedConfig) (*ShardedBoard, error) {
 		shardBits: shardBits,
 		hashShift: hashShift,
 	}
-	sb.pool.New = func() any {
-		s := make([]bus.Transaction, 0, scfg.BatchSize)
-		return &s
-	}
+	sb.pools = make([]*sync.Pool, scfg.Shards)
 	for s := 0; s < scfg.Shards; s++ {
 		shard, err := NewBoard(cfg)
 		if err != nil {
 			return nil, err
 		}
 		sb.shards = append(sb.shards, shard)
+		// One arena per shard: batches for shard s are recycled only
+		// through shard s's pool, so with pinned workers the Put side
+		// runs on the worker's CPU and reuse stays node-local.
+		sb.pools[s] = &sync.Pool{New: func() any {
+			b := make([]bus.Transaction, 0, scfg.BatchSize)
+			return &b
+		}}
 	}
 	sb.events = make([][]DrainEvent, scfg.Shards)
+	if scfg.Pin {
+		topo := numa.DetectTopology()
+		if scfg.Topology != nil {
+			topo = *scfg.Topology
+		}
+		sb.placement = topo.PlaceShards(scfg.Shards)
+	} else {
+		sb.placement = make([][]int, scfg.Shards)
+	}
 	return sb, nil
 }
+
+// ShardPlacement returns the host CPUs shard s's worker pins to (nil
+// when unpinned), for diagnostics and tests.
+func (sb *ShardedBoard) ShardPlacement(s int) []int { return sb.placement[s] }
 
 // pow2Floor rounds n down to a power of two (minimum 1).
 func pow2Floor(n int) int {
@@ -243,30 +275,43 @@ func (sb *ShardedBoard) Start() {
 		panic("core: Start called twice")
 	}
 	sb.started = true
-	sb.chans = make([]chan []bus.Transaction, len(sb.shards))
+	sb.rings = make([]*txRing, len(sb.shards))
 	for s := range sb.shards {
-		sb.chans[s] = make(chan []bus.Transaction, sb.scfg.QueueDepth)
+		sb.rings[s] = newTxRing(sb.scfg.QueueDepth)
 		sb.wg.Add(1)
 		go sb.worker(s)
 	}
 }
 
-// worker drains shard s's channel, applying each batch to the shard
-// board through the amortized batch ingest (bit-identical to per-
-// transaction Snoop; the config restrictions NewShardedBoard enforces
-// are exactly SnoopBatch's preconditions). It is the only goroutine
-// that ever touches that board.
+// worker drains shard s's ring, applying each batch to the shard board
+// through the amortized batch ingest (bit-identical to per-transaction
+// Snoop; the config restrictions NewShardedBoard enforces are exactly
+// SnoopBatch's preconditions). It is the only goroutine that ever
+// touches that board. With Pin set it locks itself to an OS thread and
+// binds that thread to its placed CPU; the thread is intentionally
+// never unlocked, so the runtime retires it with the goroutine instead
+// of returning a pinned thread to the scheduler pool.
 func (sb *ShardedBoard) worker(s int) {
 	defer sb.wg.Done()
-	shard := sb.shards[s]
-	for batch := range sb.chans[s] {
-		shard.SnoopBatch(batch)
-		batch = batch[:0]
-		sb.pool.Put(&batch)
+	if sb.scfg.Pin {
+		runtime.LockOSThread()
+		if cpus := sb.placement[s]; len(cpus) > 0 {
+			_ = numa.PinThread(cpus) // best-effort: a denied pin just loses locality
+		}
+	}
+	shard, ring, pool := sb.shards[s], sb.rings[s], sb.pools[s]
+	for {
+		bp, ok := ring.Dequeue()
+		if !ok {
+			return
+		}
+		shard.SnoopBatch(*bp)
+		*bp = (*bp)[:0]
+		pool.Put(bp)
 	}
 }
 
-// Stop closes the ingress channels, waits for every shard worker to
+// Stop closes the ingress rings, waits for every shard worker to
 // drain, flushes the shard boards (servicing any transactions still in
 // their lock-step buffers), and replays the merged drain log to the
 // ordered observer. After Stop the aggregated Counters/Node views are
@@ -276,8 +321,8 @@ func (sb *ShardedBoard) Stop() {
 		return
 	}
 	sb.stopped = true
-	for _, ch := range sb.chans {
-		close(ch)
+	for _, r := range sb.rings {
+		r.Close()
 	}
 	sb.wg.Wait()
 	for _, shard := range sb.shards {
@@ -412,12 +457,12 @@ func (f *Feeder) Snoop(tx bus.Transaction) {
 	s := f.sb.ShardOf(tx.Addr)
 	buf := f.bufs[s]
 	if buf == nil {
-		buf = f.sb.pool.Get().(*[]bus.Transaction)
+		buf = f.sb.pools[s].Get().(*[]bus.Transaction)
 		f.bufs[s] = buf
 	}
 	*buf = append(*buf, tx)
 	if len(*buf) >= f.sb.scfg.BatchSize {
-		f.sb.chans[s] <- *buf
+		f.sb.rings[s].Enqueue(buf)
 		f.bufs[s] = nil
 	}
 }
@@ -427,7 +472,7 @@ func (f *Feeder) Snoop(tx bus.Transaction) {
 func (f *Feeder) Flush() {
 	for s, buf := range f.bufs {
 		if buf != nil && len(*buf) > 0 {
-			f.sb.chans[s] <- *buf
+			f.sb.rings[s].Enqueue(buf)
 			f.bufs[s] = nil
 		}
 	}

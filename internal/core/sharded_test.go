@@ -10,6 +10,7 @@ import (
 	"memories/internal/bus"
 	"memories/internal/cache"
 	"memories/internal/coherence"
+	"memories/internal/numa"
 	"memories/internal/obs"
 	"memories/internal/workload"
 )
@@ -331,4 +332,64 @@ func TestShardedBoardConcurrentProducerStress(t *testing.T) {
 	if refs == 0 {
 		t.Fatal("stress run emulated no references")
 	}
+}
+
+// TestShardedBoardPinnedWorkersStress is the NUMA-placement stress: the
+// same multi-producer drive as above but with Pin set, so every shard
+// worker locks its OS thread and binds to its placed CPU while
+// producers hammer the rings (run under -race in CI). Counters must
+// still match the serial reference — pinning is a locality hint, never
+// a semantic change.
+func TestShardedBoardPinnedWorkersStress(t *testing.T) {
+	const producers = 4
+	perProducer := 50_000
+	if testing.Short() {
+		perProducer = 10_000
+	}
+
+	// An explicit single-node topology keeps the test deterministic on
+	// any host; CPU 0 always exists.
+	topo := numa.Topology{Nodes: []numa.TopoNode{{ID: 0, CPUs: []int{0}}}}
+	sb, err := NewShardedBoard(stressConfig(), ShardedConfig{Shards: 4, Pin: true, Topology: &topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < sb.Shards(); s++ {
+		if got := sb.ShardPlacement(s); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("shard %d placement = %v, want [0]", s, got)
+		}
+	}
+	sb.Start()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			f := sb.NewFeeder()
+			rng := workload.NewRNG(uint64(100 + p))
+			for i := 0; i < perProducer; i++ {
+				f.Snoop(stressTx(p, i, rng))
+			}
+			f.Flush()
+		}(p)
+	}
+	wg.Wait()
+	sb.Stop()
+
+	serial := MustNewBoard(stressConfig())
+	rngs := make([]*workload.RNG, producers)
+	for p := range rngs {
+		rngs[p] = workload.NewRNG(uint64(100 + p))
+	}
+	for i := 0; i < perProducer; i++ {
+		for p := 0; p < producers; p++ {
+			tx := stressTx(p, i, rngs[p])
+			serial.Snoop(&tx)
+		}
+	}
+	serial.Flush()
+
+	want := filterSnapshot(serial.Counters().Snapshot(), true)
+	got := filterSnapshot(sb.Counters().Snapshot(), true)
+	diffSnapshots(t, want, got, "pinned stress")
 }

@@ -1,0 +1,39 @@
+//go:build linux
+
+package numa
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// PinThread restricts the calling OS thread to the given host CPUs via
+// sched_setaffinity(2). Callers must hold runtime.LockOSThread for the
+// pin to mean anything — otherwise the goroutine migrates off the
+// pinned thread. An empty CPU set is a no-op. CPUs above 1023 are
+// ignored (the fixed mask covers 1024 CPUs, ample for this tool).
+func PinThread(cpus []int) error {
+	var mask [16]uint64 // 1024 CPUs
+	n := 0
+	for _, c := range cpus {
+		if c >= 0 && c < len(mask)*64 {
+			mask[c/64] |= 1 << (uint(c) % 64)
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	// tid 0 = the calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("numa: sched_setaffinity(%v): %w", cpus, errno)
+	}
+	return nil
+}
+
+// PinSupported reports whether PinThread can take effect on this
+// platform.
+func PinSupported() bool { return true }

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package numa
+
+// PinThread is a no-op on platforms without sched_setaffinity (Darwin
+// offers no public thread-to-core binding). Shard workers still benefit
+// from runtime.LockOSThread keeping each worker on one OS thread.
+func PinThread(cpus []int) error { return nil }
+
+// PinSupported reports whether PinThread can take effect on this
+// platform.
+func PinSupported() bool { return false }

@@ -1,0 +1,197 @@
+package numa
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file models the *host* machine's NUMA topology (as opposed to
+// the emulated NUMA mode in numa.go) so the sharded snoop pipeline can
+// place its workers: each shard worker is pinned near the memory that
+// holds its slice of the tag directories, keeping tag-store traffic
+// node-local. Detection reads the Linux sysfs node/cpu layout; on other
+// platforms (or a sysfs-less container) it degrades to a single node
+// covering every schedulable CPU, which still yields a stable
+// one-CPU-per-shard pinning.
+
+// TopoNode is one host NUMA node and its online CPUs.
+type TopoNode struct {
+	ID   int
+	CPUs []int
+}
+
+// Topology is the host machine's node/CPU layout.
+type Topology struct {
+	Nodes []TopoNode
+}
+
+// TotalCPUs counts the online CPUs across all nodes.
+func (t Topology) TotalCPUs() int {
+	n := 0
+	for _, node := range t.Nodes {
+		n += len(node.CPUs)
+	}
+	return n
+}
+
+// ParseCPUList parses the Linux sysfs cpulist format: comma-separated
+// decimal CPU ids and inclusive ranges, e.g. "0-3,8,10-11". An empty
+// (or all-whitespace) list parses to nil, which sysfs uses for a
+// memory-only node.
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("numa: empty entry in cpulist %q", s)
+		}
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(lo)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("numa: bad cpu %q in cpulist %q", lo, s)
+		}
+		b := a
+		if found {
+			b, err = strconv.Atoi(hi)
+			if err != nil || b < a {
+				return nil, fmt.Errorf("numa: bad range %q in cpulist %q", part, s)
+			}
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	return cpus, nil
+}
+
+// TopologyFromLists builds a topology from per-node cpulist strings
+// (index = node id) intersected with an online cpulist ("" means every
+// listed CPU is online). Nodes left with no online CPUs are kept with
+// an empty CPU set, mirroring a memory-only or fully-offlined node.
+// This is the pure core of DetectTopology, separated for tests.
+func TopologyFromLists(nodeLists []string, online string) (Topology, error) {
+	onlineSet := map[int]bool(nil)
+	if strings.TrimSpace(online) != "" {
+		cpus, err := ParseCPUList(online)
+		if err != nil {
+			return Topology{}, err
+		}
+		onlineSet = make(map[int]bool, len(cpus))
+		for _, c := range cpus {
+			onlineSet[c] = true
+		}
+	}
+	var t Topology
+	for id, list := range nodeLists {
+		cpus, err := ParseCPUList(list)
+		if err != nil {
+			return Topology{}, err
+		}
+		kept := make([]int, 0, len(cpus))
+		for _, c := range cpus {
+			if onlineSet == nil || onlineSet[c] {
+				kept = append(kept, c)
+			}
+		}
+		sort.Ints(kept)
+		t.Nodes = append(t.Nodes, TopoNode{ID: id, CPUs: kept})
+	}
+	return t, nil
+}
+
+// fallbackTopology is the single-node view used when sysfs is absent:
+// one node holding CPUs 0..NumCPU-1.
+func fallbackTopology() Topology {
+	cpus := make([]int, runtime.NumCPU())
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return Topology{Nodes: []TopoNode{{ID: 0, CPUs: cpus}}}
+}
+
+// DetectTopology reads the host topology from Linux sysfs
+// (/sys/devices/system/node/node*/cpulist intersected with
+// /sys/devices/system/cpu/online). Any read or parse failure — other
+// platforms, restricted containers — falls back to a single node over
+// runtime.NumCPU CPUs, so callers never need to special-case detection.
+func DetectTopology() Topology {
+	const nodeDir = "/sys/devices/system/node"
+	entries, err := os.ReadDir(nodeDir)
+	if err != nil {
+		return fallbackTopology()
+	}
+	maxNode := -1
+	lists := map[int]string{}
+	for _, e := range entries {
+		var id int
+		if _, err := fmt.Sscanf(e.Name(), "node%d", &id); err != nil || id < 0 {
+			continue
+		}
+		b, err := os.ReadFile(nodeDir + "/" + e.Name() + "/cpulist")
+		if err != nil {
+			continue
+		}
+		lists[id] = string(b)
+		if id > maxNode {
+			maxNode = id
+		}
+	}
+	if maxNode < 0 {
+		return fallbackTopology()
+	}
+	nodeLists := make([]string, maxNode+1)
+	for id, l := range lists {
+		nodeLists[id] = l
+	}
+	online := ""
+	if b, err := os.ReadFile("/sys/devices/system/cpu/online"); err == nil {
+		online = string(b)
+	}
+	t, err := TopologyFromLists(nodeLists, online)
+	if err != nil || t.TotalCPUs() == 0 {
+		return fallbackTopology()
+	}
+	return t
+}
+
+// PlaceShards maps each of n shards to the single host CPU its worker
+// should pin to, returning one CPU list per shard (empty = leave the
+// worker unpinned). Shards are block-partitioned across nodes — shard s
+// goes to node s*nodes/n — so neighboring shards (and the directory
+// slices they own) cluster on the same node, and within a node shards
+// round-robin over that node's CPUs. With more shards than CPUs the
+// assignment wraps: several workers share a CPU but each still has a
+// stable home node. Nodes with no online CPUs are skipped.
+func (t Topology) PlaceShards(n int) [][]int {
+	placement := make([][]int, n)
+	if n <= 0 {
+		return placement
+	}
+	var nodes []TopoNode
+	for _, node := range t.Nodes {
+		if len(node.CPUs) > 0 {
+			nodes = append(nodes, node)
+		}
+	}
+	if len(nodes) == 0 {
+		return placement // nothing to pin to
+	}
+	// next[i] rotates through node i's CPUs as shards land on it.
+	next := make([]int, len(nodes))
+	for s := 0; s < n; s++ {
+		ni := s * len(nodes) / n
+		node := nodes[ni]
+		cpu := node.CPUs[next[ni]%len(node.CPUs)]
+		next[ni]++
+		placement[s] = []int{cpu}
+	}
+	return placement
+}

@@ -1,0 +1,169 @@
+package numa
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"", nil, true},
+		{"  \n", nil, true},
+		{"0", []int{0}, true},
+		{"0-3", []int{0, 1, 2, 3}, true},
+		{"0-3,8", []int{0, 1, 2, 3, 8}, true},
+		{"0-1,4-5,9", []int{0, 1, 4, 5, 9}, true},
+		{"7-7", []int{7}, true},
+		{"3-1", nil, false},
+		{"-1", nil, false},
+		{"a-b", nil, false},
+		{"1,,2", nil, false},
+		{"1-", nil, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseCPUList(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseCPUList(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTopologyFromLists(t *testing.T) {
+	// Two nodes, with CPUs 2 and 5 offline and node 2 memory-only.
+	topo, err := TopologyFromLists([]string{"0-3", "4-7", ""}, "0-1,3-4,6-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Topology{Nodes: []TopoNode{
+		{ID: 0, CPUs: []int{0, 1, 3}},
+		{ID: 1, CPUs: []int{4, 6, 7}},
+		{ID: 2, CPUs: []int{}},
+	}}
+	if !reflect.DeepEqual(topo, want) {
+		t.Fatalf("topology = %+v, want %+v", topo, want)
+	}
+	if topo.TotalCPUs() != 6 {
+		t.Fatalf("TotalCPUs = %d, want 6", topo.TotalCPUs())
+	}
+
+	if _, err := TopologyFromLists([]string{"0-x"}, ""); err == nil {
+		t.Fatal("bad node cpulist accepted")
+	}
+	if _, err := TopologyFromLists([]string{"0"}, "junk"); err == nil {
+		t.Fatal("bad online cpulist accepted")
+	}
+}
+
+func TestDetectTopologyNeverEmpty(t *testing.T) {
+	topo := DetectTopology()
+	if len(topo.Nodes) == 0 || topo.TotalCPUs() == 0 {
+		t.Fatalf("detected topology has no CPUs: %+v", topo)
+	}
+}
+
+func TestPlaceShardsSingleNode(t *testing.T) {
+	topo := Topology{Nodes: []TopoNode{{ID: 0, CPUs: []int{0, 1, 2, 3}}}}
+	got := topo.PlaceShards(4)
+	want := [][]int{{0}, {1}, {2}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("placement = %v, want %v", got, want)
+	}
+}
+
+func TestPlaceShardsMoreShardsThanCores(t *testing.T) {
+	topo := Topology{Nodes: []TopoNode{{ID: 0, CPUs: []int{0, 1}}}}
+	got := topo.PlaceShards(8)
+	if len(got) != 8 {
+		t.Fatalf("placement has %d entries, want 8", len(got))
+	}
+	// Assignment wraps round-robin over the node's CPUs: every shard
+	// still gets exactly one stable CPU, and the load spreads evenly.
+	counts := map[int]int{}
+	for s, cpus := range got {
+		if len(cpus) != 1 {
+			t.Fatalf("shard %d pinned to %v, want exactly one CPU", s, cpus)
+		}
+		counts[cpus[0]]++
+	}
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Fatalf("wrap distribution = %v, want 4 shards per CPU", counts)
+	}
+}
+
+func TestPlaceShardsAcrossNodes(t *testing.T) {
+	topo := Topology{Nodes: []TopoNode{
+		{ID: 0, CPUs: []int{0, 1}},
+		{ID: 1, CPUs: []int{2, 3}},
+	}}
+	got := topo.PlaceShards(4)
+	// Block partition: shards 0-1 on node 0, shards 2-3 on node 1.
+	want := [][]int{{0}, {1}, {2}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("placement = %v, want %v", got, want)
+	}
+}
+
+func TestPlaceShardsSkipsOfflineNodes(t *testing.T) {
+	// Node 0 is memory-only (all CPUs offline): every shard must land
+	// on node 1's CPUs.
+	topo := Topology{Nodes: []TopoNode{
+		{ID: 0, CPUs: nil},
+		{ID: 1, CPUs: []int{4, 5}},
+	}}
+	for s, cpus := range topo.PlaceShards(4) {
+		if len(cpus) != 1 || (cpus[0] != 4 && cpus[0] != 5) {
+			t.Fatalf("shard %d pinned to %v, want a node-1 CPU", s, cpus)
+		}
+	}
+}
+
+func TestPlaceShardsNoCPUs(t *testing.T) {
+	topo := Topology{}
+	got := topo.PlaceShards(3)
+	if len(got) != 3 {
+		t.Fatalf("placement has %d entries, want 3", len(got))
+	}
+	for s, cpus := range got {
+		if cpus != nil {
+			t.Fatalf("shard %d pinned to %v on an empty topology", s, cpus)
+		}
+	}
+	if got := topo.PlaceShards(0); len(got) != 0 {
+		t.Fatalf("PlaceShards(0) = %v, want empty", got)
+	}
+}
+
+// TestPinThreadCurrentCPU exercises the real affinity syscall on CPU 0
+// (which always exists); on platforms without affinity support it
+// verifies the no-op contract instead. The pin runs on a locked
+// goroutine so the restricted thread is retired with it rather than
+// returning to the scheduler pool.
+func TestPinThreadCurrentCPU(t *testing.T) {
+	errc := make(chan error, 1)
+	go func() {
+		runtime.LockOSThread() // never unlocked: the thread dies with the goroutine
+		if err := PinThread([]int{0}); err != nil {
+			errc <- err
+			return
+		}
+		if err := PinThread(nil); err != nil {
+			errc <- err
+			return
+		}
+		// Out-of-range CPUs are ignored, never an error.
+		errc <- PinThread([]int{-1, 1 << 20})
+	}()
+	if err := <-errc; err != nil {
+		t.Fatalf("PinThread: %v", err)
+	}
+	_ = PinSupported()
+}

@@ -1,0 +1,27 @@
+package prof
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterHTTP mounts the standard /debug/pprof endpoints on mux, so a
+// long-running service can be profiled live with the same toolchain the
+// file-based flags feed:
+//
+//	go tool pprof http://host/debug/pprof/profile?seconds=30
+//	go tool pprof http://host/debug/pprof/heap
+//	curl -o t.out http://host/debug/pprof/trace?seconds=5
+//
+// The handlers come straight from net/http/pprof; registering them
+// explicitly (rather than importing that package for its
+// DefaultServeMux side effect) keeps them off any mux that did not ask,
+// which is what lets the daemon gate them behind a flag.
+func RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

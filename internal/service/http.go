@@ -13,6 +13,7 @@ import (
 
 	"memories/internal/checkpoint"
 	"memories/internal/obs"
+	"memories/internal/prof"
 	"memories/internal/tracefile"
 )
 
@@ -120,6 +121,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	if s.cfg.EnablePprof {
+		prof.RegisterHTTP(s.mux)
+	}
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {

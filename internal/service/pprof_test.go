@@ -1,0 +1,62 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPprofEndpointsGated: the /debug/pprof surface exists only when
+// EnablePprof is set — live profiling is an operator opt-in, never a
+// default exposure.
+func TestPprofEndpointsGated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnablePprof = true
+	_, base := testServer(t, cfg)
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200 (%s)", path, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index lists no profiles: %s", body)
+	}
+
+	// Disabled (the default): same paths 404, and the rest of the
+	// surface is unaffected.
+	_, plain := testServer(t, DefaultConfig())
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/profile"} {
+		resp, err := http.Get(plain + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s on plain server = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(plain + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d with pprof disabled", resp.StatusCode)
+	}
+}

@@ -72,6 +72,11 @@ type Config struct {
 	// RetryAfter is the flow-control hint returned with 429/503
 	// responses (default 1s).
 	RetryAfter time.Duration
+	// EnablePprof mounts the /debug/pprof endpoints (cmd/memoriesd's
+	// -pprof flag) so service-mode hot paths can be profiled live. Off
+	// by default: the endpoints expose stacks and timings, so operators
+	// opt in explicitly.
+	EnablePprof bool
 }
 
 // DefaultConfig returns production-shaped defaults sized for a single

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package tracefile
+
+import "errors"
+
+// mmapFile reports mmap as unavailable; ForEachBatchFile falls back to
+// the streaming reader.
+func mmapFile(f interface{ Fd() uintptr }, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("tracefile: mmap unsupported on this platform")
+}

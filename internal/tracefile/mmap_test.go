@@ -1,0 +1,216 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memories/internal/bus"
+)
+
+// collect appends emitted batches into one flat slice (copying, since
+// batch slices are reused between emit calls).
+func collect(out *[]Record) func([]Record) error {
+	return func(batch []Record) error {
+		*out = append(*out, batch...)
+		return nil
+	}
+}
+
+// writeTempTrace writes raw trace bytes to a file in t.TempDir.
+func writeTempTrace(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.mies")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestForEachBatchFileMatchesReader: the mapped path and the streaming
+// reader deliver the identical record stream for a v2 file, at several
+// worker counts and block sizes.
+func TestForEachBatchFileMatchesReader(t *testing.T) {
+	recs := testRecords(10_000, 42)
+	for _, blockRecords := range []int{16, 512, 4096} {
+		data := writeV2(t, recs, blockRecords)
+		path := writeTempTrace(t, data)
+		for _, workers := range []int{1, 2, 4} {
+			var viaReader, viaFile []Record
+			rn, err := ForEachBatch(bytes.NewReader(data), workers, collect(&viaReader))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn, err := ForEachBatchFile(path, workers, collect(&viaFile))
+			if err != nil {
+				t.Fatalf("block=%d workers=%d: %v", blockRecords, workers, err)
+			}
+			if rn != fn || len(viaReader) != len(viaFile) {
+				t.Fatalf("block=%d workers=%d: reader %d recs, mapped %d", blockRecords, workers, rn, fn)
+			}
+			for i := range viaReader {
+				if viaReader[i] != viaFile[i] {
+					t.Fatalf("block=%d workers=%d: record %d = %+v, reader %+v",
+						blockRecords, workers, i, viaFile[i], viaReader[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForEachBatchFileV1Fallback: a v1 file through ForEachBatchFile
+// takes the reader path (wrong magic for in-place decode) and still
+// yields the full stream.
+func TestForEachBatchFileV1Fallback(t *testing.T) {
+	recs := []Record{
+		{Addr: 0x1000, Cmd: bus.Read, SrcID: 1},
+		{Addr: 0x2000, Cmd: bus.RWITM, SrcID: 2},
+		{Addr: 0x3000, Cmd: bus.Castout, SrcID: 3},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTempTrace(t, buf.Bytes())
+	var got []Record
+	n, err := ForEachBatchFile(path, 2, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(recs) || len(got) != len(recs) {
+		t.Fatalf("delivered %d records, want %d", n, len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestForEachBatchFileForcedFallback is the forced-fallback proof: with
+// the mmap path disabled (emulating an mmap-less platform or a failed
+// map), ForEachBatchFile must deliver the identical stream through the
+// streaming reader.
+func TestForEachBatchFileForcedFallback(t *testing.T) {
+	recs := testRecords(5_000, 99)
+	data := writeV2(t, recs, 256)
+	path := writeTempTrace(t, data)
+
+	var mapped []Record
+	if _, err := ForEachBatchFile(path, 2, collect(&mapped)); err != nil {
+		t.Fatal(err)
+	}
+
+	mmapForceFallback = true
+	defer func() { mmapForceFallback = false }()
+	var fallback []Record
+	n, err := ForEachBatchFile(path, 2, collect(&fallback))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(recs) || len(fallback) != len(mapped) {
+		t.Fatalf("fallback delivered %d records, mapped path %d", len(fallback), len(mapped))
+	}
+	for i := range mapped {
+		if fallback[i] != mapped[i] {
+			t.Fatalf("record %d = %+v via fallback, %+v via mmap", i, fallback[i], mapped[i])
+		}
+	}
+}
+
+// TestV2MappedCorruptionParity: torn headers, torn payloads, corrupt
+// CRCs, and implausible headers must fail on the mapped path exactly
+// where the streaming reader fails, with the same records delivered
+// before the error.
+func TestV2MappedCorruptionParity(t *testing.T) {
+	recs := testRecords(2_000, 7)
+	good := writeV2(t, recs, 128)
+	// End of the first block: magic + header + its payload length.
+	firstEnd := len(MagicV2) + blockHeaderSize + int(binary.LittleEndian.Uint32(good[len(MagicV2)+4:]))
+	mutate := map[string]func([]byte) []byte{
+		"torn header":  func(b []byte) []byte { return b[:firstEnd+5] },
+		"torn payload": func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped bit":  func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)/2] ^= 0x40; return c },
+		"bad count": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[len(MagicV2):], maxBlockRecords+1)
+			return c
+		},
+	}
+	for name, mut := range mutate {
+		data := mut(good)
+		path := writeTempTrace(t, data)
+		var viaReader, viaFile []Record
+		rn, rerr := ForEachBatch(bytes.NewReader(data), 2, collect(&viaReader))
+		fn, ferr := ForEachBatchFile(path, 2, collect(&viaFile))
+		if (rerr == nil) != (ferr == nil) {
+			t.Fatalf("%s: reader err %v, mapped err %v", name, rerr, ferr)
+		}
+		if rerr == nil {
+			t.Fatalf("%s: corruption went unnoticed", name)
+		}
+		if rn != fn || len(viaReader) != len(viaFile) {
+			t.Fatalf("%s: reader emitted %d, mapped %d", name, rn, fn)
+		}
+		for i := range viaReader {
+			if viaReader[i] != viaFile[i] {
+				t.Fatalf("%s: record %d diverges", name, i)
+			}
+		}
+	}
+}
+
+// FuzzV2MmapDecode feeds arbitrary bytes to the in-place block decoder
+// as an untrusted v2 body and cross-checks it against the streaming
+// reader: neither may panic, both must agree on success vs failure, and
+// the records delivered (including any prefix before an error) must be
+// identical.
+func FuzzV2MmapDecode(f *testing.F) {
+	f.Add([]byte{})
+	var valid bytes.Buffer
+	if w, err := NewV2WriterBlock(&valid, 16); err == nil {
+		for _, r := range testRecords(100, 3) {
+			if err := w.Write(r); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(valid.Bytes()[len(MagicV2):])
+	f.Add([]byte("\x01\x00\x00\x00\x02\x00\x00\x00\xff\xff\xff\xff\x13\x00"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Add([]byte("short"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, workers := range []int{1, 2} {
+			var mapped, streamed []Record
+			mn, merr := v2BatchesMapped(data, workers, collect(&mapped))
+			body := append([]byte(MagicV2), data...)
+			sn, serr := ForEachBatch(bytes.NewReader(body), workers, collect(&streamed))
+			if (merr == nil) != (serr == nil) {
+				t.Fatalf("workers=%d: mapped err %v, reader err %v", workers, merr, serr)
+			}
+			if mn != sn || len(mapped) != len(streamed) {
+				t.Fatalf("workers=%d: mapped %d records, reader %d", workers, mn, sn)
+			}
+			for i := range mapped {
+				if mapped[i] != streamed[i] {
+					t.Fatalf("workers=%d: record %d = %+v mapped, %+v reader", workers, i, mapped[i], streamed[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package tracefile
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned release func
+// must be called exactly once when decoding finishes; the mapping (and
+// every payload slice aliasing it) is invalid afterwards.
+func mmapFile(f interface{ Fd() uintptr }, size int64) ([]byte, func() error, error) {
+	if size <= 0 || uint64(size) > uint64(^uint(0)>>1) {
+		return nil, nil, fmt.Errorf("tracefile: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tracefile: mmap: %w", err)
+	}
+	// Readahead hint only; ingest walks the file front to back.
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
