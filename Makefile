@@ -33,7 +33,7 @@ race:
 # to actually explore.
 .PHONY: fuzz-seeds
 fuzz-seeds:
-	$(GO) test ./internal/cache/ ./internal/coherence/ ./internal/tracefile/ ./internal/obs/ ./internal/console/ ./internal/checkpoint/ ./internal/core/ -run 'Fuzz.*'
+	$(GO) test ./internal/cache/ ./internal/coherence/ ./internal/tracefile/ ./internal/obs/ ./internal/console/ ./internal/checkpoint/ ./internal/core/ ./internal/host/ -run 'Fuzz.*'
 
 FUZZTIME ?= 2m
 .PHONY: fuzz-long
@@ -46,6 +46,7 @@ fuzz-long:
 	$(GO) test ./internal/checkpoint/ -run FuzzSnapshotDecode -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -run FuzzCheckpointRestore -fuzz FuzzCheckpointRestore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tracefile/ -run FuzzV2MmapDecode -fuzz FuzzV2MmapDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/host/ -run FuzzEventWheel -fuzz FuzzEventWheel -fuzztime $(FUZZTIME)
 
 # The fault-injection acceptance sweep at CI scale (~seconds), run
 # serially (-parallel 1) so the output is the deterministic golden run.
@@ -63,12 +64,17 @@ cover-check:
 # Benchmarks, matching the CI bench job's invocation. 1000x iterations
 # measure only ~200us and are noise-dominated on shared runners; 20000x
 # keeps the whole suite under ~3s while tightening medians enough for a
-# 10% gate to be meaningful.
+# 10% gate to be meaningful. The event-wheel scaling suite is opt-in
+# (-hostscale) because one op emulates a 50k-cycle slab — it runs as a
+# second pass with its own small iteration count, appended to the same
+# file so benchdiff gates both.
 BENCHTIME ?= 20000x
 BENCHCOUNT ?= 6
+HOSTSCALE_BENCHTIME ?= 30x
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -cpu 1 -benchmem . | tee bench.txt
+	$(GO) test -run '^$$' -bench HostStepScaling -hostscale -benchtime $(HOSTSCALE_BENCHTIME) -count $(BENCHCOUNT) -cpu 1 -benchmem . | tee -a bench.txt
 
 # Refresh the committed benchmark baseline (do this on the CI runner
 # class you gate on; medians of -count runs absorb scheduling noise).
@@ -77,15 +83,18 @@ bench:
 .PHONY: bench-baseline
 bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -count $(BENCHCOUNT) -cpu 1 -benchmem . | tee ci/bench-baseline.txt
+	$(GO) test -run '^$$' -bench HostStepScaling -hostscale -benchtime $(HOSTSCALE_BENCHTIME) -count $(BENCHCOUNT) -cpu 1 -benchmem . | tee -a ci/bench-baseline.txt
 
 # Compare bench.txt against the committed baseline: >10% median ns/op,
-# B/op, or allocs/op regression on a Table3/Fig8/Obs/Checkpoint kernel
-# fails (a zero-alloc baseline that starts allocating fails at any
+# B/op, or allocs/op regression on a Table3/Fig8/Obs/Checkpoint/HostStep
+# kernel fails (a zero-alloc baseline that starts allocating fails at any
 # threshold). ObsOverhead keeps the observability tax on the snoop
-# kernel gated; CheckpointWrite keeps snapshot serialization MB/s gated.
+# kernel gated; CheckpointWrite keeps snapshot serialization MB/s gated;
+# HostStepScaling keeps the event-wheel scheduler's cost of emulated
+# time gated at every machine size.
 .PHONY: bench-check
 bench-check:
-	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs|Checkpoint' -threshold 0.10 -gate 'B/op,allocs/op'
+	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs|Checkpoint|HostStep' -threshold 0.10 -gate 'B/op,allocs/op'
 
 # The trace-pipeline throughput gate: the v2 parallel reader must beat
 # the v1 per-record reader's ns/rec by 2x. Needs real cores — on a
@@ -96,27 +105,36 @@ bench-trace:
 	$(GO) run ./cmd/benchdiff -current bench-trace.txt \
 		-ratio-base BenchmarkTraceReadV1 -ratio-new BenchmarkTraceReadV2Pipeline -min-ratio 2.0
 
-# The sustained raw-speed gate: the MPSC-ring pipeline's tx/s metric is
-# compared against the committed baseline HIGHER-is-better (-gate-up), so
-# every rate that lands in ci/bench-throughput-baseline.txt becomes a
-# ratcheted floor — improvements pass and re-baseline, regressions fail.
-# ns/op on the same lines is gated lower-is-better by the default
-# comparison; the two directions agree (slower = fail). -cpu 8 keeps the
-# benchfmt key identical across runner core counts.
+# The sustained raw-speed gate: the MPSC-ring pipeline's tx/s metric and
+# the host's emulated-cycles/sec (emc/s) are compared against the
+# committed baseline HIGHER-is-better (-gate-up), so every rate that
+# lands in ci/bench-throughput-baseline.txt becomes a ratcheted floor —
+# improvements pass and re-baseline, regressions fail. ns/op on the same
+# lines is gated lower-is-better by the default comparison; the two
+# directions agree (slower = fail). -cpu 8 keeps the benchfmt key
+# identical across runner core counts. The final cross-benchmark ratio
+# gate holds the tentpole scaling claim: at 256 emulated CPUs the event
+# wheel must produce emulated time >=10x cheaper (ns/emc) than the
+# retained lock-step engine.
 THROUGHPUT_BENCHTIME ?= 500000x
 THROUGHPUT_COUNT ?= 5
 .PHONY: bench-throughput
 bench-throughput:
-	$(GO) test -run '^$$' -bench BoardSustainedTxPerSec -benchtime $(THROUGHPUT_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee bench-throughput.txt
+	$(GO) test -run '^$$' -bench 'BoardSustainedTxPerSec|HostStep$$' -benchtime $(THROUGHPUT_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee bench-throughput.txt
+	$(GO) test -run '^$$' -bench HostStepScaling -hostscale -benchtime $(HOSTSCALE_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee -a bench-throughput.txt
 	$(GO) run ./cmd/benchdiff -baseline ci/bench-throughput-baseline.txt -current bench-throughput.txt \
-		-filter 'SustainedTxPerSec' -threshold 0.10 -gate-up 'tx/s'
+		-filter 'SustainedTxPerSec|HostStep' -threshold 0.10 -gate-up 'tx/s,emc/s' \
+		-ratio-base 'BenchmarkHostStepScaling/engine=lockstep/cpus=256' \
+		-ratio-new 'BenchmarkHostStepScaling/engine=wheel/cpus=256' \
+		-ratio-metric 'ns/emc' -min-ratio 10
 
 # Refresh the committed throughput baseline (run on the CI runner class
 # you gate on — raising the floor is deliberate, done by committing the
 # refreshed file).
 .PHONY: bench-throughput-baseline
 bench-throughput-baseline:
-	$(GO) test -run '^$$' -bench BoardSustainedTxPerSec -benchtime $(THROUGHPUT_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee ci/bench-throughput-baseline.txt
+	$(GO) test -run '^$$' -bench 'BoardSustainedTxPerSec|HostStep$$' -benchtime $(THROUGHPUT_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee ci/bench-throughput-baseline.txt
+	$(GO) test -run '^$$' -bench HostStepScaling -hostscale -benchtime $(HOSTSCALE_BENCHTIME) -count $(THROUGHPUT_COUNT) -cpu 8 . | tee -a ci/bench-throughput-baseline.txt
 
 # The process-level crash-safety oracle: builds cmd/experiments, kills
 # it with SIGKILL mid-sweep, resumes from its journal, and requires

@@ -828,3 +828,110 @@ func BenchmarkAblationSDRAMPacing(b *testing.B) {
 		})
 	}
 }
+
+// --- Discrete-event host: the event-wheel scheduler (DESIGN.md §4e) ---
+
+// BenchmarkHostStep measures the merged-stream host's per-reference step
+// and reports emulated bus cycles per wall-clock second — the rate
+// real-time emulation lives or dies by. emc/s is gated HIGHER-is-better
+// in the throughput job.
+func BenchmarkHostStep(b *testing.B) {
+	h := host.MustNew(host.DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Step()
+	}
+	b.ReportMetric(float64(h.Bus().Cycle())/b.Elapsed().Seconds(), "emc/s")
+}
+
+// computeGen spaces a stream's references out in emulated time (each
+// ref stands for instrScale times more computation) and relocates them
+// to a private region, so the bus settles into the low-utilization band
+// (~10-15% busy) the wheel targets — the regime where lock-step polling
+// wastes almost every cycle evaluation.
+type computeGen struct {
+	workload.Generator
+	offset     uint64
+	instrScale uint64
+}
+
+func (g computeGen) Next() (workload.Ref, bool) {
+	r, ok := g.Generator.Next()
+	r.Addr += g.offset
+	r.Instrs *= g.instrScale
+	return r, ok
+}
+
+// benchPerCPUHost builds the scaling benchmark's machine: `active`
+// compute-heavy Zipf streams inside an ncpu-way SMP, each over its own
+// region with a tail that spills the 1MB L2 — sustained sparse misses,
+// not cold-start or ping-pong saturation.
+func benchPerCPUHost(ncpu, active int, engine host.Engine) *host.Host {
+	cfg := host.DefaultConfig()
+	cfg.NumCPUs = ncpu
+	cfg.L1Bytes = 32 * addr.KB
+	cfg.L2Bytes = 1 * addr.MB
+	cfg.IOFraction = 0
+	streams := make([]workload.Generator, ncpu)
+	for i := 0; i < active; i++ {
+		streams[i] = computeGen{
+			Generator: workload.NewZipfian(workload.ZipfConfig{
+				NumCPUs:       1,
+				FootprintByte: 2 * addr.MB,
+				WriteFraction: 0.2,
+				Seed:          11 + uint64(i),
+			}),
+			offset:     uint64(i+1) << 30,
+			instrScale: 24,
+		}
+	}
+	return host.MustNewPerCPU(cfg, streams, engine)
+}
+
+// hostScaleFlag keeps the scaling suite out of the default `-bench .`
+// sweep: one op emulates a 50k-cycle slab (up to ~20ms on the lock-step
+// side), so the stock 20000x BENCHTIME would take minutes. The bench and
+// throughput Make targets run it explicitly:
+//
+//	go test -run '^$' -bench HostStepScaling -hostscale -benchtime 30x .
+var hostScaleFlag = flag.Bool("hostscale", false, "enable the host event-wheel scaling suite (multi-ms ops; pair with a small -benchtime)")
+
+// BenchmarkHostStepScaling is the scheduler scaling gate: the same 8
+// busy streams inside machines of growing size, under both per-CPU
+// engines. One benchmark op advances the emulation by a fixed slab of
+// bus cycles, so ns/op is directly the cost of emulated time and the
+// two derived metrics feed the CI gates: ns/emc (lower is better)
+// drives the cross-engine ratio gate — the wheel must beat lock-step
+// polling by >=10x at 256 CPUs — and emc/s is the ratcheted
+// emulated-cycles-per-second floor.
+func BenchmarkHostStepScaling(b *testing.B) {
+	if !*hostScaleFlag {
+		b.Skip("pass -hostscale to run the event-wheel scaling suite (use a small -benchtime like 30x)")
+	}
+	const active = 8
+	const slab = 50_000 // emulated bus cycles per op
+	for _, eng := range []struct {
+		name   string
+		engine host.Engine
+	}{
+		{"wheel", host.EngineWheel},
+		{"lockstep", host.EngineLockStep},
+	} {
+		for _, ncpu := range []int{8, 64, 256} {
+			b.Run(fmt.Sprintf("engine=%s/cpus=%d", eng.name, ncpu), func(b *testing.B) {
+				h := benchPerCPUHost(ncpu, active, eng.engine)
+				var target uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					target += slab
+					h.RunCycles(target)
+				}
+				sec := b.Elapsed().Seconds()
+				emc := float64(target)
+				b.ReportMetric(emc/sec, "emc/s")
+				b.ReportMetric(sec*1e9/emc, "ns/emc")
+				b.ReportMetric(h.Bus().Utilization()*100, "busbusy%")
+			})
+		}
+	}
+}

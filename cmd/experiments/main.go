@@ -55,12 +55,13 @@ type journal struct {
 	every int
 	scale string
 	csv   bool
+	cpus  int
 	done  map[string]outcome
 	dirty int // completions since the last save
 }
 
 func (j *journal) fingerprint() string {
-	return fmt.Sprintf("scale=%s csv=%v", j.scale, j.csv)
+	return fmt.Sprintf("scale=%s csv=%v cpus=%d", j.scale, j.csv, j.cpus)
 }
 
 // record journals one completed experiment, saving every j.every
@@ -183,6 +184,8 @@ func run() int {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text tables")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker bound, both across experiments and across sweep points within one; 1 is the serial golden run (bit-identical results at any setting)")
 		bigmem   = flag.Bool("bigmem", false, "run the fully allocated big-memory corners (table2's 8 GB directory: ~512 MB RAM, tens of seconds)")
+		cpus     = flag.Int("cpus", 0, "emulated CPU count override for host-driven experiments (default: each preset's geometry; hostscale sweeps this single size)")
+		unfaith  = flag.Bool("unfaithful", false, "silence the warning when -cpus exceeds the paper's 12-way S7A host")
 		obsAddr  = flag.String("obs", "", "serve live metrics on this address (e.g. :9090) while experiments run")
 		obsIv    = flag.Duration("obs-interval", time.Second, "sampler interval for -obs/-obs-jsonl")
 		obsJSONL = flag.String("obs-jsonl", "", "append JSON-lines metric snapshots to this file (requires -obs or standalone)")
@@ -192,6 +195,24 @@ func run() int {
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
+
+	cpusSet := false
+	flag.CommandLine.Visit(func(f *flag.Flag) {
+		if f.Name == "cpus" {
+			cpusSet = true
+		}
+	})
+	if cpusSet {
+		if *cpus < 1 {
+			return fail(fmt.Errorf("-cpus %d: an emulated machine needs at least one CPU", *cpus))
+		}
+		// The S7A the paper validates against tops out at 12 processors;
+		// beyond that the emulation still runs (that is the point of the
+		// event wheel) but no longer models measured hardware.
+		if *cpus > 12 && !*unfaith {
+			fmt.Fprintf(os.Stderr, "experiments: warning: -cpus %d exceeds the 12-way S7A the paper validates against; results model a hypothetical machine (-unfaithful silences this)\n", *cpus)
+		}
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -219,7 +240,7 @@ func run() int {
 		}
 	}
 
-	jl := &journal{path: *ckptPath, every: *ckptN, scale: *scaleID, csv: *csv, done: make(map[string]outcome)}
+	jl := &journal{path: *ckptPath, every: *ckptN, scale: *scaleID, csv: *csv, cpus: *cpus, done: make(map[string]outcome)}
 	if *resume != "" {
 		if err := jl.load(*resume); err != nil {
 			return fail(err)
@@ -318,7 +339,7 @@ func run() int {
 				return
 			}
 			start := time.Now()
-			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem, Obs: reg})
+			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem, Obs: reg, NumCPUs: *cpus})
 			o := outcome{id: id, err: err, elapsed: time.Since(start)}
 			if err == nil {
 				o.text = render(res, *csv)

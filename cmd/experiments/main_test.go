@@ -152,3 +152,24 @@ func TestRunBadScale(t *testing.T) {
 		t.Fatal("bad -scale accepted")
 	}
 }
+
+// -cpus must reject machine sizes below one CPU; the zero default only
+// means "preset geometry" when the flag is absent.
+func TestRunBadCPUs(t *testing.T) {
+	for _, n := range []string{"0", "-3"} {
+		if code := runCLI(t, "-cpus", n, "-list"); code == 0 {
+			t.Fatalf("-cpus %s accepted", n)
+		}
+	}
+}
+
+// -cpus narrows the hostscale sweep to one machine size and flows into
+// every host the experiment builds (end-to-end through Options.NumCPUs).
+func TestRunCPUsOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if code := runCLI(t, "-run", "hostscale", "-scale", "ci", "-parallel", "1", "-cpus", "24", "-unfaithful"); code != 0 {
+		t.Fatalf("hostscale with -cpus 24 exited %d", code)
+	}
+}

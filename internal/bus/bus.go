@@ -245,6 +245,28 @@ func (b *Bus) Attach(s Snooper) {
 	}
 }
 
+// Detach removes a previously attached snooper (and, if it observed
+// combined responses, that registration too). Detaching a device whose
+// snoop can only ever answer Null — e.g. an idle CPU whose cache can
+// never hold a line — leaves every combined response unchanged; it only
+// removes the wasted probe. Unknown snoopers are ignored.
+func (b *Bus) Detach(s Snooper) {
+	for i, sn := range b.snoopers {
+		if sn == s {
+			b.snoopers = append(b.snoopers[:i], b.snoopers[i+1:]...)
+			break
+		}
+	}
+	if ro, ok := s.(ResponseObserver); ok {
+		for i, o := range b.observers {
+			if o.ro == ro {
+				b.observers = append(b.observers[:i], b.observers[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
@@ -320,6 +342,19 @@ func (b *Bus) Issue(tx *Transaction) SnoopResponse {
 	b.stats.BusyCycles += busy
 	b.cycle += busy
 	return resp
+}
+
+// IssueAt advances the bus clock to cycle (if it is ahead of the current
+// clock) and issues tx. It is the event-ordered arbitration entry point
+// for the discrete-event host: actors compute the absolute bus cycle of
+// their next bus-visible event and the scheduler calls IssueAt in
+// (cycle, cpuID) pop order, so the clock only moves forward. An actor
+// whose scheduled cycle has already passed — the bus was busy with an
+// earlier tenure — contends and issues at the current, later cycle,
+// which is exactly bus arbitration.
+func (b *Bus) IssueAt(cycle uint64, tx *Transaction) SnoopResponse {
+	b.AdvanceTo(cycle)
+	return b.Issue(tx)
 }
 
 // Seconds converts a cycle count on this bus into wall-clock seconds,

@@ -280,3 +280,83 @@ func TestDataBeatsRounding(t *testing.T) {
 		}
 	}
 }
+
+// observingSnooper is a fakeSnooper that also records combined responses.
+type observingSnooper struct {
+	fakeSnooper
+	combined []SnoopResponse
+}
+
+func (o *observingSnooper) ObserveResponse(tx *Transaction, combined SnoopResponse) {
+	o.combined = append(o.combined, combined)
+}
+
+// Detach exists so the discrete-event host can take guaranteed-Null
+// snoopers (idle CPUs) off the bus: a detached device is neither probed
+// nor told combined responses, and the remaining devices' combined
+// response is unaffected.
+func TestBusDetach(t *testing.T) {
+	b := New(DefaultConfig())
+	stay := &fakeSnooper{id: 0, resp: RespShared}
+	gone := &observingSnooper{fakeSnooper: fakeSnooper{id: 1}}
+	b.Attach(stay)
+	b.Attach(gone)
+
+	b.Issue(&Transaction{Cmd: Read, Addr: 0x1000, Size: 128, SrcID: 7})
+	if len(gone.seen) != 1 || len(gone.combined) != 1 {
+		t.Fatalf("attached device saw %d snoops, %d combined responses; want 1, 1",
+			len(gone.seen), len(gone.combined))
+	}
+
+	b.Detach(gone)
+	got := b.Issue(&Transaction{Cmd: Read, Addr: 0x2000, Size: 128, SrcID: 7})
+	if len(gone.seen) != 1 || len(gone.combined) != 1 {
+		t.Fatal("detached device still probed")
+	}
+	if got != RespShared {
+		t.Fatalf("combined = %v after detach, want shared from remaining snooper", got)
+	}
+	if len(stay.seen) != 2 {
+		t.Fatalf("remaining snooper saw %d transactions, want 2", len(stay.seen))
+	}
+
+	// Detaching an unknown (or already detached) snooper is a no-op.
+	b.Detach(gone)
+	b.Detach(&fakeSnooper{id: 9})
+	if b.Issue(&Transaction{Cmd: Read, Addr: 0x3000, Size: 128, SrcID: 7}) != RespShared {
+		t.Fatal("no-op detach disturbed the snooper list")
+	}
+}
+
+// IssueAt is AdvanceTo + Issue: the event-ordered arbitration entry for
+// the discrete-event host. The clock jumps forward to the scheduled
+// cycle when the bus is free, and stays put (arbitration: the actor
+// contends at the later, current cycle) when the bus has already moved
+// past it.
+func TestBusIssueAt(t *testing.T) {
+	b := New(DefaultConfig())
+	snooper := &fakeSnooper{id: 1}
+	b.Attach(snooper)
+
+	// Future cycle: the clock advances to it and stamps the tenure there.
+	tx := Transaction{Cmd: Read, Addr: 0x1000, Size: 128, SrcID: 0}
+	b.IssueAt(500, &tx)
+	if tx.Cycle != 500 {
+		t.Fatalf("tx stamped at cycle %d, want 500", tx.Cycle)
+	}
+	after := b.Cycle()
+	if want := uint64(500 + 1 + 8); after != want { // addr tenure + 128B/16B beats
+		t.Fatalf("bus cycle %d after issue, want %d", after, want)
+	}
+
+	// Past cycle: the clock must not run backwards; the transaction
+	// issues at the current (later) cycle.
+	tx2 := Transaction{Cmd: DClaim, Addr: 0x2000, SrcID: 0}
+	b.IssueAt(100, &tx2)
+	if tx2.Cycle != after {
+		t.Fatalf("past-scheduled tx stamped at %d, want current cycle %d", tx2.Cycle, after)
+	}
+	if tx2.Seq != tx.Seq+1 {
+		t.Fatalf("seq %d, want %d", tx2.Seq, tx.Seq+1)
+	}
+}

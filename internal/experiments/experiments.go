@@ -114,6 +114,17 @@ type Preset struct {
 	Fig12Refs    uint64
 	SplashSeed   uint64
 
+	// Discrete-event host scaling (the hostscale experiment).
+	HostScaleCPUs   []int  // machine sizes swept by hostscale
+	HostScaleActive int    // busy streams per sweep point; the rest idle
+	HostScaleCycles uint64 // bus cycles emulated per sweep point
+
+	// NumCPUs, when positive, overrides host.Config.NumCPUs wherever an
+	// experiment builds a host, and narrows the hostscale sweep to that
+	// single machine size. Set via Options.NumCPUs / cmd/experiments
+	// -cpus; 0 keeps each experiment's own default.
+	NumCPUs int
+
 	// BigMem gates the fully allocated big-memory corners (the 8 GB
 	// Table 2 directory: 64M packed slots, 512 MB resident). Off by
 	// default; set via Options.BigMem / cmd/experiments -bigmem.
@@ -156,7 +167,8 @@ func PresetFor(s Scale) Preset {
 			Fig11SizesKB: []int64{32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024},
 			Fig11L1Bytes: 64 * addr.KB, Fig11L2Bytes: 8 * addr.MB, Fig11Refs: 50_000_000,
 			Fig12Size: splash.SizePaper, Fig12CacheMB: 64, Fig12LineB: 1024, Fig12Refs: 50_000_000,
-			SplashSeed: 3,
+			SplashSeed:    3,
+			HostScaleCPUs: []int{8, 64, 256, 1024}, HostScaleActive: 8, HostScaleCycles: 20_000_000,
 			FaultsRefs: 20_000_000, FaultsScrubCycles: 100_000,
 			FaultsRates:     []float64{1e-5, 1e-4, 1e-3, 1e-2},
 			FaultsBurstProb: 1e-4,
@@ -178,7 +190,8 @@ func PresetFor(s Scale) Preset {
 			Fig11SizesKB: []int64{512, 1024, 2048, 4096},
 			Fig11L1Bytes: 16 * addr.KB, Fig11L2Bytes: 256 * addr.KB, Fig11Refs: 4_000_000,
 			Fig12Size: splash.SizeClassic, Fig12CacheMB: 64, Fig12LineB: 1024, Fig12Refs: 4_000_000,
-			SplashSeed: 3,
+			SplashSeed:    3,
+			HostScaleCPUs: []int{8, 64, 256}, HostScaleActive: 8, HostScaleCycles: 2_000_000,
 			FaultsRefs: 1_500_000, FaultsScrubCycles: 50_000,
 			FaultsRates:     []float64{1e-4, 1e-3, 1e-2},
 			FaultsBurstProb: 1e-3,
@@ -200,7 +213,8 @@ func PresetFor(s Scale) Preset {
 			Fig11SizesKB: []int64{512, 1024, 2048, 4096},
 			Fig11L1Bytes: 16 * addr.KB, Fig11L2Bytes: 256 * addr.KB, Fig11Refs: 2_000_000,
 			Fig12Size: splash.SizeClassic, Fig12CacheMB: 64, Fig12LineB: 1024, Fig12Refs: 2_000_000,
-			SplashSeed: 3,
+			SplashSeed:    3,
+			HostScaleCPUs: []int{8, 64, 256}, HostScaleActive: 8, HostScaleCycles: 400_000,
 			FaultsRefs: 400_000, FaultsScrubCycles: 25_000,
 			FaultsRates:     []float64{1e-3, 1e-2},
 			FaultsBurstProb: 2e-3,
@@ -237,19 +251,20 @@ type runner struct {
 }
 
 var registry = map[string]runner{
-	"table1": {"Simulated vs actual cache sizes in previous studies", runTable1},
-	"table2": {"Cache emulation parameter ranges (executable spec)", runTable2},
-	"fig1":   {"System cache size ranges, current and projected", runFig1},
-	"table3": {"Execution time: trace-driven C simulator vs MemorIES", runTable3},
-	"table4": {"Execution time: Augmint vs MemorIES (FFT)", runTable4},
-	"fig8":   {"L3 miss ratio vs cache size for short and long traces", runFig8},
-	"fig9":   {"L3 miss ratio vs processors per L3, short vs long traces", runFig9},
-	"fig10":  {"TPC-C miss-ratio profile with OS journaling spikes", runFig10},
-	"table5": {"SPLASH2 application characteristics", runTable5},
-	"table6": {"SPLASH2 miss rates: scaled vs full problem sizes", runTable6},
-	"fig11":  {"L3 miss ratio vs L3 size for SPLASH2 applications", runFig11},
-	"fig12":  {"Where an L2 miss is satisfied (FFT, Ocean, FMM)", runFig12},
-	"faults": {"Fault injection: tag-store soft errors, scrub, and forced overflow retries", runFaults},
+	"table1":    {"Simulated vs actual cache sizes in previous studies", runTable1},
+	"table2":    {"Cache emulation parameter ranges (executable spec)", runTable2},
+	"fig1":      {"System cache size ranges, current and projected", runFig1},
+	"table3":    {"Execution time: trace-driven C simulator vs MemorIES", runTable3},
+	"table4":    {"Execution time: Augmint vs MemorIES (FFT)", runTable4},
+	"fig8":      {"L3 miss ratio vs cache size for short and long traces", runFig8},
+	"fig9":      {"L3 miss ratio vs processors per L3, short vs long traces", runFig9},
+	"fig10":     {"TPC-C miss-ratio profile with OS journaling spikes", runFig10},
+	"table5":    {"SPLASH2 application characteristics", runTable5},
+	"table6":    {"SPLASH2 miss rates: scaled vs full problem sizes", runTable6},
+	"fig11":     {"L3 miss ratio vs L3 size for SPLASH2 applications", runFig11},
+	"fig12":     {"Where an L2 miss is satisfied (FFT, Ocean, FMM)", runFig12},
+	"faults":    {"Fault injection: tag-store soft errors, scrub, and forced overflow retries", runFaults},
+	"hostscale": {"Event-wheel host scaling: dispatched events vs lock-step polls", runHostScale},
 }
 
 // IDs returns the experiment identifiers in a stable order.
@@ -279,6 +294,9 @@ type Options struct {
 	// registry scope, so re-running the same ID against the same
 	// registry fails with a duplicate-prefix error.
 	Obs *obs.Registry
+	// NumCPUs, when positive, overrides the emulated machine size (see
+	// Preset.NumCPUs). 0 keeps the preset defaults.
+	NumCPUs int
 }
 
 // Run regenerates one experiment at the given scale, serially — the
@@ -303,6 +321,7 @@ func RunWith(id string, scale Scale, opts Options) (*Result, error) {
 	p.BigMem = opts.BigMem
 	p.Obs = opts.Obs
 	p.ObsScope = id
+	p.NumCPUs = opts.NumCPUs
 	res, err := r.run(p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)

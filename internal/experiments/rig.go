@@ -39,6 +39,9 @@ func dbHostConfig(p Preset) host.Config {
 	cfg := host.DefaultConfig()
 	cfg.L2Bytes = p.DBHostL2Bytes
 	cfg.L2Assoc = p.DBHostL2Assoc
+	if p.NumCPUs > 0 {
+		cfg.NumCPUs = p.NumCPUs
+	}
 	return cfg
 }
 

@@ -3,29 +3,53 @@ package host
 import (
 	"fmt"
 
+	"memories/internal/bus"
 	"memories/internal/checkpoint"
 	"memories/internal/workload"
 )
 
-// SaveState serializes the host: generator identity + stream position,
-// the host RNG, the accumulated statistics, the bus, and every CPU's
-// private caches. The generator must implement workload.Checkpointer
-// (the splash kernels do not — their state lives in goroutine stacks).
+// hostSectionVersion is the host checkpoint format. Version 2 added the
+// discrete-event state: a mode flag and, for per-CPU hosts, every
+// actor's stream position, local clock, and pending scheduled event.
+// The wheel itself is not serialized — it is rebuilt on restore by
+// re-scheduling each actor's pending event, which reproduces the exact
+// pop order because each actor keeps at most one event and the order is
+// the total (cycle, cpuID).
+//
+// Version-1 snapshots (which began with the generator-name string) fail
+// the version check up front with a decode error rather than
+// misdecoding.
+const hostSectionVersion = 2
+
+// SaveState serializes the host: format version, mode, generator
+// identity + stream position (per actor in per-CPU mode, along with each
+// actor's clock and pending event), the accumulated statistics, the bus,
+// and every CPU's private caches. Generators must implement
+// workload.Checkpointer (the splash kernels do not — their state lives
+// in goroutine stacks).
 func (h *Host) SaveState(e *checkpoint.Enc) error {
-	if h.gen == nil {
-		return fmt.Errorf("host: no workload generator to checkpoint")
+	e.U8(hostSectionVersion)
+	e.Bool(h.perCPU)
+	if h.perCPU {
+		if err := h.saveActors(e); err != nil {
+			return err
+		}
+	} else {
+		if h.gen == nil {
+			return fmt.Errorf("host: no workload generator to checkpoint")
+		}
+		ck, ok := h.gen.(workload.Checkpointer)
+		if !ok {
+			return fmt.Errorf("host: generator %q is not checkpointable", h.gen.Name())
+		}
+		e.Str(h.gen.Name())
+		if err := ck.SaveState(e); err != nil {
+			return err
+		}
+		e.U64(h.rng.State())
+		e.F64(h.idleCarry)
+		e.U64(h.ioAddr)
 	}
-	ck, ok := h.gen.(workload.Checkpointer)
-	if !ok {
-		return fmt.Errorf("host: generator %q is not checkpointable", h.gen.Name())
-	}
-	e.Str(h.gen.Name())
-	if err := ck.SaveState(e); err != nil {
-		return err
-	}
-	e.U64(h.rng.State())
-	e.F64(h.idleCarry)
-	e.U64(h.ioAddr)
 	e.U64(h.stats.Refs)
 	e.U64(h.stats.Instructions)
 	e.U64(h.stats.L1Hits)
@@ -52,27 +76,87 @@ func (h *Host) SaveState(e *checkpoint.Enc) error {
 	return nil
 }
 
+// saveActors writes the per-CPU discrete-event state: each actor's
+// stream, RNG, local clock, and the one pending scheduled event.
+func (h *Host) saveActors(e *checkpoint.Enc) error {
+	e.U64(h.events)
+	e.U32(uint32(len(h.cpus)))
+	for _, c := range h.cpus {
+		e.Bool(c.gen != nil)
+		if c.gen == nil {
+			continue
+		}
+		ck, ok := c.gen.(workload.Checkpointer)
+		if !ok {
+			return fmt.Errorf("host: cpu %d generator %q is not checkpointable", c.id, c.gen.Name())
+		}
+		e.Str(c.gen.Name())
+		if err := ck.SaveState(e); err != nil {
+			return err
+		}
+		e.U64(c.rng.State())
+		e.U64(c.clock)
+		e.F64(c.carry)
+		e.U64(c.ioAddr)
+		e.U8(uint8(c.pend))
+		e.U64(c.pendCycle)
+		e.U64(c.pendLine)
+		e.Bool(c.pendWrite)
+		e.Bool(c.pendFill)
+		e.U8(uint8(c.pendIOCmd))
+		e.Bool(c.hasBuf)
+		if c.hasBuf {
+			e.U64(c.buf.Addr)
+			e.Bool(c.buf.Write)
+			e.I64(int64(c.buf.CPU))
+			e.U64(c.buf.Instrs)
+		}
+		e.Bool(c.done)
+	}
+	return nil
+}
+
 // RestoreState loads a host checkpoint into an identically configured
-// host (same Config, same generator construction). The generator name
-// is cross-checked so a snapshot from a different workload is rejected
-// rather than silently misapplied.
+// host (same Config, same generator construction, same mode). Generator
+// names are cross-checked so a snapshot from a different workload is
+// rejected rather than silently misapplied.
 func (h *Host) RestoreState(d *checkpoint.Dec) error {
-	if h.gen == nil {
-		return fmt.Errorf("host: no workload generator to restore into")
+	if v := d.U8(); v != hostSectionVersion {
+		if d.Err() != nil {
+			return d.Err()
+		}
+		return d.Failf("host section version %d, want %d", v, hostSectionVersion)
 	}
-	ck, ok := h.gen.(workload.Checkpointer)
-	if !ok {
-		return fmt.Errorf("host: generator %q is not checkpointable", h.gen.Name())
+	perCPU := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
 	}
-	if got, want := d.Str(), h.gen.Name(); got != want {
-		return d.Failf("generator %q != configured %q", got, want)
+	if perCPU != h.perCPU {
+		return d.Failf("snapshot per-CPU mode %v != configured %v", perCPU, h.perCPU)
 	}
-	if err := ck.RestoreState(d); err != nil {
-		return err
+	if h.perCPU {
+		if err := h.restoreActors(d); err != nil {
+			return err
+		}
+	} else {
+		if h.gen == nil {
+			return fmt.Errorf("host: no workload generator to restore into")
+		}
+		ck, ok := h.gen.(workload.Checkpointer)
+		if !ok {
+			return fmt.Errorf("host: generator %q is not checkpointable", h.gen.Name())
+		}
+		if got, want := d.Str(), h.gen.Name(); got != want {
+			return d.Failf("generator %q != configured %q", got, want)
+		}
+		if err := ck.RestoreState(d); err != nil {
+			return err
+		}
+		h.rng.SetState(d.U64())
+		h.idleCarry = d.F64()
+		h.ioAddr = d.U64()
 	}
-	h.rng.SetState(d.U64())
-	h.idleCarry = d.F64()
-	h.ioAddr = d.U64()
+	h.err = nil
 	h.stats.Refs = d.U64()
 	h.stats.Instructions = d.U64()
 	h.stats.L1Hits = d.U64()
@@ -111,4 +195,85 @@ func (h *Host) RestoreState(d *checkpoint.Dec) error {
 		}
 	}
 	return d.Err()
+}
+
+// restoreActors loads the per-CPU discrete-event state and rebuilds the
+// scheduler: the wheel is repopulated from each actor's pending event;
+// the lock-step cursor rewinds to the earliest one.
+func (h *Host) restoreActors(d *checkpoint.Dec) error {
+	h.events = d.U64()
+	if got, want := int(d.U32()), len(h.cpus); got != want {
+		return d.Failf("actor count %d != configured %d", got, want)
+	}
+	for _, c := range h.cpus {
+		hasGen := d.Bool()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if hasGen != (c.gen != nil) {
+			return d.Failf("cpu %d stream presence %v != configured %v", c.id, hasGen, c.gen != nil)
+		}
+		if c.gen == nil {
+			continue
+		}
+		ck, ok := c.gen.(workload.Checkpointer)
+		if !ok {
+			return fmt.Errorf("host: cpu %d generator %q is not checkpointable", c.id, c.gen.Name())
+		}
+		if got, want := d.Str(), c.gen.Name(); got != want {
+			return d.Failf("cpu %d generator %q != configured %q", c.id, got, want)
+		}
+		if err := ck.RestoreState(d); err != nil {
+			return err
+		}
+		c.rng.SetState(d.U64())
+		c.clock = d.U64()
+		c.carry = d.F64()
+		c.ioAddr = d.U64()
+		c.pend = pendKind(d.U8())
+		c.pendCycle = d.U64()
+		c.pendLine = d.U64()
+		c.pendWrite = d.Bool()
+		c.pendFill = d.Bool()
+		c.pendIOCmd = bus.Command(d.U8())
+		c.hasBuf = d.Bool()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		c.buf = workload.Ref{}
+		if c.hasBuf {
+			c.buf.Addr = d.U64()
+			c.buf.Write = d.Bool()
+			c.buf.CPU = int(d.I64())
+			c.buf.Instrs = d.U64()
+		}
+		c.done = d.Bool()
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	// Rebuild the scheduler from the restored pending events.
+	h.live = 0
+	if h.engine == EngineWheel {
+		h.wheel = newEventWheel(0)
+	}
+	h.lockCursor = 0
+	first := true
+	for _, c := range h.cpus {
+		if c.gen == nil || c.done {
+			continue
+		}
+		h.live++
+		if c.pend == pendNone {
+			return d.Failf("cpu %d live without a pending event", c.id)
+		}
+		if h.wheel != nil {
+			h.wheel.Schedule(c.pendCycle, int32(c.id))
+		}
+		if first || c.pendCycle < h.lockCursor {
+			h.lockCursor = c.pendCycle
+			first = false
+		}
+	}
+	return nil
 }

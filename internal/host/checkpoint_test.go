@@ -41,6 +41,93 @@ func TestHostCheckpointContinuation(t *testing.T) {
 	}
 }
 
+// Per-CPU resume equivalence: snapshot a discrete-event host mid-run —
+// with actors parked at different local clocks and pending events — and
+// the restored twin must replay the identical event order on both
+// engines. The uninterrupted run is the oracle.
+func TestHostCheckpointContinuationPerCPU(t *testing.T) {
+	for _, engine := range []Engine{EngineWheel, EngineLockStep} {
+		name := "wheel"
+		if engine == EngineLockStep {
+			name = "lockstep"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := perCPUTestConfig(16)
+			cfg.IOFraction = 0.01 // park some actors on pending I/O events
+			mk := func() *Host {
+				return MustNewPerCPU(cfg, perCPUStreams(16, 6, 11), engine)
+			}
+			const half = 60_000
+			oracle := mk()
+			oracle.RunCycles(2 * half)
+
+			h := mk()
+			h.RunCycles(half)
+			var e checkpoint.Enc
+			if err := h.SaveState(&e); err != nil {
+				t.Fatal(err)
+			}
+			h2 := mk()
+			d := checkpoint.NewDec("host", 0, e.Bytes())
+			if err := h2.RestoreState(d); err != nil {
+				t.Fatal(err)
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("%d unread payload bytes", d.Remaining())
+			}
+			if h2.Stats() != h.Stats() {
+				t.Fatalf("stats diverge immediately after restore:\n%+v\n%+v", h2.Stats(), h.Stats())
+			}
+			if h2.Events() != h.Events() {
+				t.Fatalf("events %d after restore, want %d", h2.Events(), h.Events())
+			}
+			h2.RunCycles(2 * half)
+			if h2.Stats() != oracle.Stats() {
+				t.Fatalf("stats diverge from uninterrupted run:\n%+v\n%+v", h2.Stats(), oracle.Stats())
+			}
+			if h2.Events() != oracle.Events() {
+				t.Fatalf("events %d after resume, oracle %d", h2.Events(), oracle.Events())
+			}
+			if h2.Bus().Stats() != oracle.Bus().Stats() {
+				t.Fatalf("bus stats diverge from uninterrupted run:\n%+v\n%+v",
+					h2.Bus().Stats(), oracle.Bus().Stats())
+			}
+		})
+	}
+}
+
+// A per-CPU snapshot must not restore into a merged-stream host (or
+// vice versa): the mode byte is part of the fingerprint.
+func TestHostRestoreRejectsModeMismatch(t *testing.T) {
+	src := MustNewPerCPU(perCPUTestConfig(8), perCPUStreams(8, 4, 3), EngineWheel)
+	src.RunCycles(10_000)
+	var e checkpoint.Enc
+	if err := src.SaveState(&e); err != nil {
+		t.Fatal(err)
+	}
+	dst := MustNew(DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	err := dst.RestoreState(checkpoint.NewDec("host", 0, e.Bytes()))
+	var ce *checkpoint.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *checkpoint.CorruptError", err)
+	}
+}
+
+// A version-1 snapshot (no leading version byte; it began with the
+// generator-name string) must be rejected by the version check, not
+// misdecoded.
+func TestHostRestoreRejectsV1Snapshot(t *testing.T) {
+	var e checkpoint.Enc
+	e.Str("tpcc-oltp") // how a v1 host section began
+	e.U64(42)
+	dst := MustNew(DefaultConfig(), workload.NewTPCC(workload.ScaledTPCCConfig(4096)))
+	err := dst.RestoreState(checkpoint.NewDec("host", 0, e.Bytes()))
+	var ce *checkpoint.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *checkpoint.CorruptError", err)
+	}
+}
+
 // A snapshot from one workload must not restore into a host driving
 // another: the generator name is the fingerprint.
 func TestHostRestoreRejectsWrongGenerator(t *testing.T) {

@@ -27,6 +27,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 
 	"memories/internal/addr"
@@ -34,6 +35,12 @@ import (
 	"memories/internal/cache"
 	"memories/internal/workload"
 )
+
+// ErrExhausted is the terminal condition Host.Err reports after the
+// workload stream ended normally. A generator that failed (its
+// workload.ErrReporter carries a non-nil error) surfaces that error
+// instead, so callers can tell "ran out of trace" from "trace broke".
+var ErrExhausted = errors.New("host: workload stream exhausted")
 
 // Private-cache line states (cache.Cache state bytes). The host caches use
 // a fixed MESI protocol — the *programmable* protocol machinery belongs to
@@ -133,11 +140,33 @@ type Stats struct {
 
 // cpu is one processor with its private hierarchy. The coherence cache is
 // the L2 when enabled, otherwise the L1.
+//
+// In a per-CPU host (NewPerCPU) the processor is also a discrete-event
+// actor: it consumes its own reference stream, keeps a local clock in
+// bus cycles, and always has at most one scheduled event (pend) — the
+// next point it becomes bus-visible. The actor fields stay zero in a
+// merged-stream host.
 type cpu struct {
 	id   int
 	host *Host
 	l1   *cache.Cache // nil when the L1 is the coherence cache
 	coh  *cache.Cache
+
+	// Discrete-event actor state (per-CPU mode only).
+	gen       workload.Generator // this CPU's private stream (nil = idle)
+	rng       *workload.RNG      // per-CPU I/O injection draws
+	clock     uint64             // local time, absolute bus cycles
+	carry     float64            // fractional local cycles pending
+	ioAddr    uint64             // per-CPU I/O register cursor
+	pend      pendKind           // the one outstanding scheduled event
+	pendCycle uint64             // absolute cycle pend is due
+	pendLine  uint64             // line address of a pending miss/upgrade
+	pendWrite bool               // pending miss is a store
+	pendFill  bool               // commit must fill the L1 (L2-path refs)
+	pendIOCmd bus.Command        // drawn command of a pending I/O event
+	buf       workload.Ref       // reference paused behind a pending I/O
+	hasBuf    bool
+	done      bool // stream exhausted; never scheduled again
 }
 
 // Host is the modeled SMP.
@@ -152,6 +181,16 @@ type Host struct {
 	idleCarry    float64 // fractional idle bus cycles pending
 	cyclesPerRef float64 // idle cycles per instruction
 	ioAddr       uint64
+	err          error // terminal condition; see Err
+
+	// Discrete-event state (per-CPU mode only; see percpu.go).
+	perCPU         bool
+	engine         Engine
+	wheel          *eventWheel // nil on EngineLockStep
+	events         uint64      // scheduler events dispatched
+	live           int         // actors with stream remaining
+	lockCursor     uint64      // lock-step engine's poll cycle
+	cyclesPerInstr float64     // per-CPU compute cycles per instruction
 
 	// tx is the scratch transaction reused by every bus issue on the
 	// step hot path. Safe because no snooper retains the pointer past
@@ -228,11 +267,28 @@ func (h *Host) SetWorkload(gen workload.Generator) { h.gen = gen }
 // Generator returns the current workload generator (nil if unset).
 func (h *Host) Generator() workload.Generator { return h.gen }
 
-// Step processes one workload reference (plus any injected I/O traffic),
-// returning false when the workload stream has ended.
+// Err reports the host's terminal condition: nil while the stream is
+// live, ErrExhausted after it ended normally, or the generator's own
+// error (wrapped) when the stream failed. In per-CPU mode the first
+// failing stream, in deterministic event order, wins.
+func (h *Host) Err() error { return h.err }
+
+// Step advances the host by one unit — a workload reference in merged
+// mode, a scheduler event in per-CPU mode — returning false when the
+// workload stream has ended. Err distinguishes exhaustion from failure.
 func (h *Host) Step() bool {
+	if h.perCPU {
+		return h.stepEvent()
+	}
 	ref, ok := h.gen.Next()
 	if !ok {
+		if h.err == nil {
+			if er, ok := h.gen.(workload.ErrReporter); ok && er.Err() != nil {
+				h.err = fmt.Errorf("host: workload %q: %w", h.gen.Name(), er.Err())
+			} else {
+				h.err = ErrExhausted
+			}
+		}
 		return false
 	}
 	h.stats.Refs++
@@ -257,7 +313,21 @@ func (h *Host) Step() bool {
 }
 
 // Run processes up to n references, returning how many were processed.
+// A short count means the stream ended; Err tells exhaustion from
+// failure. A per-CPU host advances in whole scheduler events, and one
+// wakeup may filter several references, so the count can overshoot n by
+// a fraction of an event.
 func (h *Host) Run(n uint64) uint64 {
+	if h.perCPU {
+		start := h.stats.Refs
+		for h.live > 0 && h.stats.Refs-start < n {
+			h.stepEvent()
+		}
+		if h.live == 0 {
+			h.finish()
+		}
+		return h.stats.Refs - start
+	}
 	var i uint64
 	for ; i < n; i++ {
 		if !h.Step() {
@@ -265,6 +335,18 @@ func (h *Host) Run(n uint64) uint64 {
 		}
 	}
 	return i
+}
+
+// RunE is Run with the terminal condition surfaced: it returns a nil
+// error when all n references were processed, and otherwise the reason
+// the stream stopped short — ErrExhausted for a normal end of stream, or
+// the generator's own error.
+func (h *Host) RunE(n uint64) (uint64, error) {
+	done := h.Run(n)
+	if done < n {
+		return done, h.err
+	}
+	return done, nil
 }
 
 // injectIO issues one I/O-register, interrupt, or sync transaction.

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"errors"
 	"testing"
 
 	"memories/internal/addr"
@@ -322,5 +323,144 @@ func TestCacheFootprintIsPackedWordPerSlot(t *testing.T) {
 	}
 	if got := h.CacheFootprint(); got != 8*slots {
 		t.Fatalf("CacheFootprint = %d, want %d (8 B x %d slots)", got, 8*slots, slots)
+	}
+}
+
+// failGen emits n good references and then fails its stream, modeling a
+// trace reader hitting a truncated file.
+type failGen struct {
+	left int
+	err  error
+}
+
+func (g *failGen) Name() string     { return "failing" }
+func (g *failGen) Footprint() int64 { return 1 << 20 }
+func (g *failGen) Err() error       { return g.err }
+func (g *failGen) Next() (workload.Ref, bool) {
+	if g.left == 0 {
+		g.err = errTruncated
+		return workload.Ref{}, false
+	}
+	g.left--
+	return workload.Ref{Addr: uint64(g.left) * 128, Instrs: 1}, true
+}
+
+var errTruncated = errors.New("trace truncated")
+
+// TestRunSurfacesExhaustionVsError is the regression test for the Err
+// sentinel: Step returning false used to conflate "stream finished" with
+// "stream broke"; Err and RunE now tell them apart.
+func TestRunSurfacesExhaustionVsError(t *testing.T) {
+	// Normal end of stream: ErrExhausted.
+	done := MustNew(testConfig(), &scriptGen{refs: []workload.Ref{{Addr: 4096}, {Addr: 8192}}})
+	if n, err := done.RunE(10); n != 2 || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("RunE = (%d, %v), want (2, ErrExhausted)", n, err)
+	}
+	if !errors.Is(done.Err(), ErrExhausted) {
+		t.Fatalf("Err = %v, want ErrExhausted", done.Err())
+	}
+
+	// Broken stream: the generator's own error, wrapped — distinct from
+	// exhaustion.
+	broken := MustNew(testConfig(), &failGen{left: 5})
+	n, err := broken.RunE(10)
+	if n != 5 {
+		t.Fatalf("RunE processed %d refs, want 5", n)
+	}
+	if !errors.Is(err, errTruncated) || errors.Is(err, ErrExhausted) {
+		t.Fatalf("RunE error = %v, want wrapped errTruncated", err)
+	}
+
+	// A full run reports no terminal condition.
+	live := MustNew(testConfig(), &failGen{left: 100})
+	if n, err := live.RunE(10); n != 10 || err != nil {
+		t.Fatalf("RunE = (%d, %v), want (10, nil)", n, err)
+	}
+	if live.Err() != nil {
+		t.Fatalf("Err = %v mid-stream, want nil", live.Err())
+	}
+}
+
+// TestCheckInclusionNonDefaultGeometries exercises the inclusion checker
+// away from the 8-way default: an L2-disabled host (no L1/L2 pair, so
+// inclusion is vacuous), a direct-mapped L2 under heavy eviction
+// pressure, and a deliberately broken hierarchy.
+func TestCheckInclusionNonDefaultGeometries(t *testing.T) {
+	// L2 off: the L1 is the coherence point; nothing to violate.
+	noL2 := testConfig()
+	noL2.NumCPUs = 2
+	noL2.L2Enabled = false
+	h := MustNew(noL2, workload.NewUniform(workload.UniformConfig{
+		NumCPUs: 2, FootprintByte: addr.MB, WriteFraction: 0.3, Seed: 3,
+	}))
+	h.Run(20000)
+	if bad, violated := h.CheckInclusion(); violated {
+		t.Fatalf("L2-off host reported inclusion violation at %#x", bad)
+	}
+
+	// Direct-mapped 32KB L2 over a 16KB 4-way L1: constant L2 evictions
+	// must keep invalidating the L1 to preserve inclusion.
+	tight := testConfig()
+	tight.NumCPUs = 12
+	tight.L1Bytes = 16 * addr.KB
+	tight.L1Assoc = 4
+	tight.L2Bytes = 32 * addr.KB
+	tight.L2Assoc = 1
+	h = MustNew(tight, workload.NewUniform(workload.UniformConfig{
+		NumCPUs: 12, FootprintByte: 4 * addr.MB, WriteFraction: 0.3, Seed: 5,
+	}))
+	h.Run(50000)
+	if bad, violated := h.CheckInclusion(); violated {
+		t.Fatalf("inclusion violated at line %#x", bad)
+	}
+
+	// Break inclusion by hand (invalidate an L2 line behind the L1's
+	// back); the checker must catch it and name the line.
+	gen := &scriptGen{refs: []workload.Ref{{Addr: 0x40000, CPU: 0}}}
+	h = MustNew(testConfig(), gen)
+	h.Run(1)
+	line := h.cpus[0].coh.Geometry().LineAddr(0x40000)
+	h.cpus[0].coh.Invalidate(line)
+	bad, violated := h.CheckInclusion()
+	if !violated || bad != line {
+		t.Fatalf("CheckInclusion = (%#x, %v), want (%#x, true)", bad, violated, line)
+	}
+}
+
+// TestEstimatedRuntimeNonDefaultGeometries cross-checks the runtime
+// model against the closed-form expectation at machine shapes other
+// than the 8-way default.
+func TestEstimatedRuntimeNonDefaultGeometries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"2cpu", func(c *Config) { c.NumCPUs = 2 }},
+		{"12cpu-overlap4", func(c *Config) { c.NumCPUs = 12; c.MissOverlap = 4 }},
+		{"l2off-fastclock", func(c *Config) { c.L2Enabled = false; c.CPUClockMHz = 500; c.CPI = 2 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mut(&cfg)
+			h := MustNew(cfg, workload.NewUniform(workload.UniformConfig{
+				NumCPUs: cfg.NumCPUs, FootprintByte: 2 * addr.MB, WriteFraction: 0.2, Seed: 7,
+			}))
+			h.Run(30000)
+			s := h.Stats()
+			if s.L2Misses == 0 {
+				t.Fatal("degenerate run: no misses")
+			}
+			cpuHz := float64(cfg.CPUClockMHz) * 1e6
+			busHz := float64(cfg.Bus.ClockMHz) * 1e6
+			want := float64(s.Instructions)*cfg.CPI/cpuHz/float64(cfg.NumCPUs) +
+				float64(s.L2Misses)*cfg.MissStallBusCycles/busHz/cfg.MissOverlap/float64(cfg.NumCPUs)
+			got := h.EstimatedRuntimeSeconds()
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("EstimatedRuntimeSeconds = %g, want %g", got, want)
+			}
+			if got <= 0 {
+				t.Fatalf("runtime estimate %g not positive", got)
+			}
+		})
 	}
 }

@@ -1,0 +1,504 @@
+package host
+
+import (
+	"fmt"
+
+	"memories/internal/bus"
+	"memories/internal/workload"
+)
+
+// This file is the discrete-event side of the host: per-CPU actors that
+// schedule their next bus-visible event (L2-miss issue, ownership
+// upgrade, I/O injection, wakeup after a stall) at an absolute bus-cycle
+// timestamp, and the two engines that order those events:
+//
+//   - EngineWheel pops events from the hierarchical timing wheel in
+//     (cycle, cpuID) order. Idle CPUs schedule nothing and cost zero, so
+//     wall-clock scales with bus events, not machine size.
+//   - EngineLockStep polls every CPU each bus cycle in ID order — the
+//     pre-wheel host structure, retained as the baseline the wheel's
+//     speedup is measured (and CI-gated) against.
+//
+// Both engines drive the same actor handlers, and actors only ever
+// schedule their own next event at a cycle >= their current one. Under
+// that discipline the engines are interchangeable: the wheel pops
+// (cycle, cpuID)-ordered events; the poller visits cycles in ascending
+// order and, within a cycle, drains each CPU fully in ID order — which
+// is the same total order, since no actor can insert an event for
+// another actor or in the past. TestPerCPUWheelMatchesLockStep holds the
+// two engines to bit-identical bus streams and Stats.
+
+// Engine selects how a per-CPU host orders its events.
+type Engine int
+
+const (
+	// EngineWheel is the hierarchical timing wheel (the default).
+	EngineWheel Engine = iota
+	// EngineLockStep polls all CPUs every bus cycle; O(NumCPUs) per
+	// cycle regardless of activity. Baseline for scaling comparisons.
+	EngineLockStep
+)
+
+// pendKind is the one outstanding scheduled event an actor keeps.
+type pendKind uint8
+
+const (
+	pendNone pendKind = iota
+	// pendWake: pull and filter references until the next bus-visible
+	// event is found.
+	pendWake
+	// pendIssueMiss: an L2 miss whose Read/RWITM address tenure is due.
+	pendIssueMiss
+	// pendIssueUpgrade: a DClaim ownership upgrade due; may degrade to a
+	// full miss if a peer invalidated the line in the meantime.
+	pendIssueUpgrade
+	// pendIO: an injected I/O/interrupt/sync transaction is due.
+	pendIO
+)
+
+// wakeBurst bounds how many references one wakeup may filter before
+// yielding the scheduler, so an all-hit stream cannot starve other
+// actors' due events within the same cycle.
+const wakeBurst = 1024
+
+// NewPerCPU builds a discrete-event host where each CPU consumes its own
+// reference stream. streams must have exactly cfg.NumCPUs entries; a nil
+// entry leaves that CPU idle — it is never scheduled and costs nothing,
+// which is what lets a 256-way host with 8 active streams run at the
+// speed of an 8-way. Stream refs are taken as-is except that their CPU
+// field is ignored: stream i always executes on CPU i.
+//
+// Unlike the merged-stream host (New), per-CPU timing does not divide
+// compute time by NumCPUs: each actor advances its own clock by
+// CPI·(busClock/cpuClock) per instruction plus its own un-overlapped
+// miss stalls, and the bus interleaves actors by timestamp.
+func NewPerCPU(cfg Config, streams []workload.Generator, engine Engine) (*Host, error) {
+	if len(streams) != cfg.NumCPUs {
+		return nil, fmt.Errorf("host: %d streams for %d CPUs", len(streams), cfg.NumCPUs)
+	}
+	h, err := New(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	h.perCPU = true
+	h.engine = engine
+	h.cyclesPerInstr = cfg.CPI * float64(cfg.Bus.ClockMHz) / float64(cfg.CPUClockMHz)
+	if engine == EngineWheel {
+		h.wheel = newEventWheel(0)
+	}
+	for i, c := range h.cpus {
+		if streams[i] == nil {
+			// An idle CPU can never hold a cache line (nothing drives its
+			// access path), so its snoop is a guaranteed Null: take it off
+			// the bus entirely. This is what makes snoops O(busy CPUs)
+			// rather than O(machine size).
+			h.bus.Detach(c)
+			c.done = true
+			continue
+		}
+		c.gen = streams[i]
+		// Decorrelate per-CPU I/O draws without a shared RNG: golden
+		// ratio stride, the same mix the workload RNG zero-seed guard
+		// uses.
+		c.rng = workload.NewRNG(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		h.live++
+		c.schedule(pendWake, 0)
+	}
+	if h.live == 0 {
+		return nil, fmt.Errorf("host: all %d streams are nil", cfg.NumCPUs)
+	}
+	return h, nil
+}
+
+// MustNewPerCPU is NewPerCPU for statically known-good configurations.
+func MustNewPerCPU(cfg Config, streams []workload.Generator, engine Engine) *Host {
+	h, err := NewPerCPU(cfg, streams, engine)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// PerCPU reports whether this host runs per-CPU streams on the
+// discrete-event engines rather than a merged stream.
+func (h *Host) PerCPU() bool { return h.perCPU }
+
+// Events returns how many scheduler events have been dispatched. For the
+// wheel engine this is the total work the scheduler did; comparing it
+// against NumCPUs × cycles (what the lock-step poller inspects) is the
+// algorithmic speedup of the rewrite.
+func (h *Host) Events() uint64 { return h.events }
+
+// Live returns how many actors still have stream left.
+func (h *Host) Live() int { return h.live }
+
+// schedule records the actor's next event and, on the wheel engine,
+// inserts it. The lock-step engine finds pending events by polling, so
+// recording the (kind, cycle) pair is all it needs.
+func (c *cpu) schedule(kind pendKind, cycle uint64) {
+	c.pend = kind
+	c.pendCycle = cycle
+	if c.host.wheel != nil {
+		c.host.wheel.Schedule(cycle, int32(c.id))
+	}
+}
+
+// dispatch runs one due event on its actor.
+func (h *Host) dispatch(c *cpu) {
+	h.events++
+	kind := c.pend
+	c.pend = pendNone
+	switch kind {
+	case pendWake:
+		c.wake()
+	case pendIO:
+		c.issueIO()
+	case pendIssueMiss, pendIssueUpgrade:
+		c.commit(kind)
+		c.schedule(pendWake, c.clock)
+	}
+}
+
+// RunCycles advances a per-CPU host until the bus clock reaches target
+// cycles, processing every event scheduled before it. It returns the
+// number of scheduler events dispatched.
+func (h *Host) RunCycles(target uint64) uint64 {
+	if !h.perCPU {
+		panic("host: RunCycles requires a per-CPU host (NewPerCPU)")
+	}
+	start := h.events
+	if h.engine == EngineLockStep {
+		h.runCyclesLockStep(target)
+	} else {
+		h.runCyclesWheel(target)
+	}
+	h.bus.AdvanceTo(target)
+	return h.events - start
+}
+
+func (h *Host) runCyclesWheel(target uint64) {
+	for h.live > 0 {
+		cycle, _, ok := h.wheel.Peek()
+		if !ok || cycle >= target {
+			return
+		}
+		_, cpuID, _ := h.wheel.Pop()
+		h.dispatch(h.cpus[cpuID])
+	}
+	h.finish()
+}
+
+func (h *Host) runCyclesLockStep(target uint64) {
+	for cyc := h.lockCursor; cyc < target; cyc++ {
+		h.lockCursor = cyc
+		for _, c := range h.cpus {
+			for !c.done && c.pend != pendNone && c.pendCycle <= cyc {
+				h.dispatch(c)
+			}
+		}
+		if h.live == 0 {
+			h.finish()
+			break
+		}
+	}
+	h.lockCursor = target
+}
+
+// stepEvent dispatches the single next due event, reporting false when
+// every stream is exhausted.
+func (h *Host) stepEvent() bool {
+	if h.live == 0 {
+		h.finish()
+		return false
+	}
+	if h.engine == EngineLockStep {
+		for {
+			for _, c := range h.cpus {
+				if !c.done && c.pend != pendNone && c.pendCycle <= h.lockCursor {
+					h.dispatch(c)
+					return true
+				}
+			}
+			h.lockCursor++
+		}
+	}
+	_, cpuID, ok := h.wheel.Pop()
+	if !ok {
+		h.finish()
+		return false
+	}
+	h.dispatch(h.cpus[cpuID])
+	return true
+}
+
+// finish latches the terminal condition once every actor is done.
+func (h *Host) finish() {
+	if h.live == 0 && h.err == nil {
+		h.err = ErrExhausted
+	}
+}
+
+// wake pulls references from the actor's stream and filters them through
+// its private hierarchy until one needs the bus (or an I/O injection
+// fires), then schedules that bus event at the actor's local clock.
+func (c *cpu) wake() {
+	h := c.host
+	startClock := c.clock
+	for spin := 0; spin < wakeBurst; spin++ {
+		var ref workload.Ref
+		if c.hasBuf {
+			ref = c.buf
+			c.hasBuf = false
+		} else {
+			r, ok := c.gen.Next()
+			if !ok {
+				c.done = true
+				h.live--
+				if h.err == nil {
+					if er, ok := c.gen.(workload.ErrReporter); ok && er.Err() != nil {
+						h.err = fmt.Errorf("host: cpu %d stream: %w", c.id, er.Err())
+					}
+				}
+				return // never rescheduled: a drained actor costs zero
+			}
+			ref = r
+			h.stats.Refs++
+			h.stats.Instructions += ref.Instrs
+
+			// Compute time accrues on this CPU's own clock.
+			c.carry += float64(ref.Instrs) * h.cyclesPerInstr
+			if c.carry >= 1 {
+				n := uint64(c.carry)
+				c.clock += n
+				c.carry -= float64(n)
+			}
+
+			if h.cfg.IOFraction > 0 && c.rng.Chance(h.cfg.IOFraction) {
+				c.buf, c.hasBuf = ref, true
+				switch c.rng.Intn(4) {
+				case 0:
+					c.pendIOCmd = bus.IORead
+				case 1:
+					c.pendIOCmd = bus.IOWrite
+				case 2:
+					c.pendIOCmd = bus.Interrupt
+				default:
+					c.pendIOCmd = bus.Sync
+				}
+				c.schedule(pendIO, c.clock)
+				return
+			}
+		}
+		if c.filter(ref.Addr, ref.Write) {
+			return
+		}
+	}
+	// Burst cap hit on an all-hit stream: yield to peers with due events
+	// at this cycle, forcing progress if the refs carried no instructions.
+	if c.clock == startClock {
+		c.clock++
+	}
+	c.schedule(pendWake, c.clock)
+}
+
+// filter runs one reference through the private hierarchy up to the
+// coherence point. Hits commit immediately and return false; a reference
+// that needs the bus records the pending tenure, schedules its issue at
+// the actor's local clock, and returns true. The coherence decision is
+// re-derived at issue time (commit), so peer invalidations that land in
+// between are honored exactly as on real hardware.
+func (c *cpu) filter(a uint64, write bool) bool {
+	h := c.host
+	line := c.coh.Geometry().LineAddr(a)
+
+	if c.l1 != nil {
+		if c.l1.Access(line) != stInvalid {
+			h.stats.L1Hits++
+			if !write {
+				return false
+			}
+			st := c.coh.Access(line)
+			switch st {
+			case stModified:
+				return false
+			case stExclusive:
+				c.coh.SetState(line, stModified)
+				return false
+			case stShared:
+				c.pendLine, c.pendWrite, c.pendFill = line, true, false
+				c.schedule(pendIssueUpgrade, c.clock)
+				return true
+			case stInvalid:
+				panic("host: L1 hit without L2 backing (inclusion broken)")
+			}
+			return false
+		}
+		h.stats.L1Misses++
+	}
+
+	st := c.coh.Access(line)
+	switch {
+	case st == stInvalid:
+		c.pendLine, c.pendWrite, c.pendFill = line, write, true
+		c.schedule(pendIssueMiss, c.clock)
+		return true
+	case write && st == stShared:
+		c.pendLine, c.pendWrite, c.pendFill = line, true, true
+		c.schedule(pendIssueUpgrade, c.clock)
+		return true
+	case write && st == stExclusive:
+		h.stats.L2Hits++
+		c.coh.SetState(line, stModified)
+	default:
+		h.stats.L2Hits++
+	}
+	if c.l1 != nil {
+		c.l1.Fill(line, 1)
+	}
+	return false
+}
+
+// commit performs the bus-visible half of a pending reference at its
+// scheduled cycle, re-probing the coherence state first: between filter
+// and commit other actors may have issued, and a planned upgrade whose
+// line was invalidated degrades to a full miss.
+func (c *cpu) commit(kind pendKind) {
+	h := c.host
+	line := c.pendLine
+	if kind == pendIssueUpgrade {
+		switch c.coh.Probe(line) {
+		case stShared:
+			if c.pendFill {
+				h.stats.L2Hits++
+			}
+			c.upgradeAt(line)
+		case stInvalid:
+			c.missAt(line, true)
+		default:
+			// Raced to E/M (defensive: no current snoop reaction raises
+			// a peer's state, so this is unreachable today).
+			if c.pendFill {
+				h.stats.L2Hits++
+			}
+			c.coh.SetState(line, stModified)
+		}
+	} else {
+		// A line Invalid at filter time stays Invalid: only this CPU
+		// fills its own cache.
+		c.missAt(line, c.pendWrite)
+	}
+	if c.pendFill && c.l1 != nil {
+		c.l1.Fill(line, 1)
+	}
+}
+
+// issueIO puts the drawn I/O/interrupt/sync transaction on the bus at
+// the actor's clock, then resumes the buffered reference.
+func (c *cpu) issueIO() {
+	h := c.host
+	h.stats.IOOps++
+	c.ioAddr += 8
+	h.tx = bus.Transaction{
+		Cmd:   c.pendIOCmd,
+		Addr:  (1 << 52) | uint64(c.id)<<20 | (c.ioAddr & 0xffff),
+		Size:  8,
+		SrcID: c.id,
+	}
+	h.bus.IssueAt(c.clock, &h.tx)
+	c.syncClock()
+	c.schedule(pendWake, c.clock)
+}
+
+// syncClock pulls the actor's clock up to the bus: an actor cannot run
+// ahead of its own just-completed tenure (bus contention shows up here —
+// if earlier-scheduled actors kept the bus busy past this actor's
+// timestamp, the wait becomes local stall time).
+func (c *cpu) syncClock() {
+	if cyc := c.host.bus.Cycle(); cyc > c.clock {
+		c.clock = cyc
+	}
+}
+
+// issueAtWithRetry is the per-CPU twin of issueWithRetry: the back-off
+// delay accrues on the actor's own clock rather than the global bus
+// idle counter.
+func (c *cpu) issueAtWithRetry(tx *bus.Transaction) bus.SnoopResponse {
+	h := c.host
+	for attempt := 0; ; attempt++ {
+		resp := h.bus.IssueAt(c.clock, tx)
+		c.syncClock()
+		if resp != bus.RespRetry {
+			return resp
+		}
+		if attempt >= retryLimit {
+			h.stats.RetryExhausted++
+			return resp
+		}
+		h.stats.Retried++
+		c.clock += retryDelayCycles
+	}
+}
+
+// upgradeAt claims exclusive ownership of a shared line via DClaim at
+// the actor's clock.
+func (c *cpu) upgradeAt(line uint64) {
+	h := c.host
+	h.stats.Upgrades++
+	h.tx = bus.Transaction{
+		Cmd:   bus.DClaim,
+		Addr:  line,
+		SrcID: c.id,
+	}
+	c.issueAtWithRetry(&h.tx)
+	c.coh.SetState(line, stModified)
+}
+
+// missAt fetches a line at the actor's clock, accrues the un-overlapped
+// miss stall locally, fills the hierarchy, and writes back any dirty
+// victim.
+func (c *cpu) missAt(line uint64, write bool) {
+	h := c.host
+	h.stats.L2Misses++
+	cmd := bus.Read
+	if write {
+		cmd = bus.RWITM
+	}
+	h.tx = bus.Transaction{
+		Cmd:   cmd,
+		Addr:  line,
+		Size:  int(h.cfg.LineSize),
+		SrcID: c.id,
+	}
+	resp := c.issueAtWithRetry(&h.tx)
+
+	c.carry += h.cfg.MissStallBusCycles / h.cfg.MissOverlap
+	if c.carry >= 1 {
+		n := uint64(c.carry)
+		c.clock += n
+		c.carry -= float64(n)
+	}
+
+	fill := uint8(stExclusive)
+	switch {
+	case write:
+		fill = stModified
+	case resp == bus.RespShared || resp == bus.RespModified:
+		fill = stShared
+	}
+	victim, evicted := c.coh.Fill(line, fill)
+	if evicted {
+		if c.l1 != nil {
+			c.l1.Invalidate(victim.Addr)
+		}
+		if victim.State == stModified {
+			h.stats.Castouts++
+			h.tx = bus.Transaction{
+				Cmd:   bus.Castout,
+				Addr:  victim.Addr,
+				Size:  int(h.cfg.LineSize),
+				SrcID: c.id,
+			}
+			c.issueAtWithRetry(&h.tx)
+		}
+	}
+}

@@ -40,6 +40,15 @@ type Generator interface {
 	Footprint() int64
 }
 
+// ErrReporter is an optional Generator extension for streams that can
+// end abnormally (trace readers hitting a truncated file, network
+// feeds). After Next returns ok=false, a non-nil Err means the stream
+// failed rather than completed; the host surfaces it through Host.Err
+// instead of ErrExhausted.
+type ErrReporter interface {
+	Err() error
+}
+
 // Layout hands out disjoint address regions. Regions are aligned to 1MB
 // and separated so that distinct data structures never share a cache line
 // even at the board's maximum 16KB line size.
