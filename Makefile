@@ -40,6 +40,8 @@ FUZZTIME ?= 2m
 fuzz-long:
 	$(GO) test ./internal/cache/ -run FuzzPackedSlot -fuzz FuzzPackedSlot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/coherence/ -run FuzzParseMapFile -fuzz FuzzParseMapFile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/coherence/ -run FuzzProtocolCompile -fuzz FuzzProtocolCompile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/coherence/ -run FuzzModelCheck -fuzz FuzzModelCheck -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/tracefile/ -run FuzzRoundTripV2 -fuzz FuzzRoundTripV2 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs/ -run FuzzPromText -fuzz FuzzPromText -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/console/ -run FuzzConsoleCommand -fuzz FuzzConsoleCommand -fuzztime $(FUZZTIME)
@@ -94,7 +96,7 @@ bench-baseline:
 # time gated at every machine size.
 .PHONY: bench-check
 bench-check:
-	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs|Checkpoint|HostStep' -threshold 0.10 -gate 'B/op,allocs/op'
+	$(GO) run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current bench.txt -filter 'Table3|Fig8|Obs|Checkpoint|HostStep|Protocol' -threshold 0.10 -gate 'B/op,allocs/op'
 
 # The trace-pipeline throughput gate: the v2 parallel reader must beat
 # the v1 per-record reader's ns/rec by 2x. Needs real cores — on a

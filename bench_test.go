@@ -74,6 +74,84 @@ func BenchmarkTable3BoardSnoop(b *testing.B) {
 	b.ReportMetric(board.Node(0).MissRatio(), "missratio")
 }
 
+// --- ISSUE 10: compiled protocol engine vs parsed-table lookup ---
+
+// protocolLookupSequence is a fixed pseudo-random walk over the cells a
+// MESI controller actually visits; both lookup benches replay it so
+// their ns/op compare like for like.
+func protocolLookupSequence() []struct {
+	op coherence.Op
+	st coherence.State
+	sn coherence.SnoopIn
+} {
+	type cell = struct {
+		op coherence.Op
+		st coherence.State
+		sn coherence.SnoopIn
+	}
+	tab := coherence.MESI()
+	var seq []cell
+	x := uint64(0x9e3779b97f4a7c15)
+	for len(seq) < 1024 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		op := coherence.Op(x % uint64(coherence.NumOps))
+		st := coherence.State((x >> 8) % uint64(coherence.NumStates))
+		sn := coherence.SnoopIn((x >> 16) % uint64(coherence.NumSnoopIns))
+		if _, ok := tab.Lookup(op, st, sn); !ok {
+			continue // MESI leaves Owned undefined
+		}
+		seq = append(seq, cell{op, st, sn})
+	}
+	return seq
+}
+
+// BenchmarkProtocolEngineLookup is the hot-path cost the board pays per
+// transition with the compiled engine (the node controller's table
+// walk, §3.2). Must stay 0 allocs/op: the benchdiff gate holds it to
+// the same budget as the table it replaced.
+func BenchmarkProtocolEngineLookup(b *testing.B) {
+	eng, err := coherence.Compile(coherence.MESI())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := protocolLookupSequence()
+	var sink coherence.State
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := seq[i&(len(seq)-1)]
+		sink = eng.Lookup(c.op, c.st, c.sn).Next
+	}
+	_ = sink
+}
+
+// BenchmarkProtocolTableLookup is the pre-compiler reference: the same
+// walk through the sparse parsed Table.
+func BenchmarkProtocolTableLookup(b *testing.B) {
+	tab := coherence.MESI()
+	seq := protocolLookupSequence()
+	var sink coherence.State
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := seq[i&(len(seq)-1)]
+		sink = tab.MustLookup(c.op, c.st, c.sn).Next
+	}
+	_ = sink
+}
+
+// BenchmarkProtocolCheck prices the exhaustive model check a protocol
+// pays once at load time (three caches, full reachable state space).
+func BenchmarkProtocolCheck(b *testing.B) {
+	tab := coherence.MESI()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := coherence.Check(tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- ISSUE 5: observability overhead on the Table 3 snoop kernel ---
 
 // BenchmarkObsOverhead measures the live-observability tax on the exact

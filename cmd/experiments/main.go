@@ -10,6 +10,7 @@
 //	experiments -csv            # emit CSV instead of aligned tables
 //	experiments -checkpoint J   # journal completed experiments to J (crash-safe)
 //	experiments -resume J       # skip experiments already journaled in J
+//	experiments -protocol moesi # emulate MOESI caches (name or .map file path)
 //
 // A sweep interrupted by SIGINT/SIGTERM (or killed outright between
 // experiments) resumes from its journal: completed experiments replay
@@ -32,9 +33,11 @@ import (
 	"time"
 
 	"memories/internal/checkpoint"
+	"memories/internal/coherence"
 	"memories/internal/experiments"
 	"memories/internal/obs"
 	"memories/internal/prof"
+	"memories/protocols"
 )
 
 type outcome struct {
@@ -56,12 +59,13 @@ type journal struct {
 	scale string
 	csv   bool
 	cpus  int
+	proto string
 	done  map[string]outcome
 	dirty int // completions since the last save
 }
 
 func (j *journal) fingerprint() string {
-	return fmt.Sprintf("scale=%s csv=%v cpus=%d", j.scale, j.csv, j.cpus)
+	return fmt.Sprintf("scale=%s csv=%v cpus=%d proto=%s", j.scale, j.csv, j.cpus, j.proto)
 }
 
 // record journals one completed experiment, saving every j.every
@@ -192,6 +196,7 @@ func run() int {
 		ckptPath = flag.String("checkpoint", "", "journal completed experiments to this file (crash-safe atomic writes)")
 		ckptN    = flag.Int("checkpoint-every", 1, "journal after every N completed experiments")
 		resume   = flag.String("resume", "", "resume from a journal file written by -checkpoint (falls back past corrupt rotation entries)")
+		protoID  = flag.String("protocol", "", "coherence protocol for the emulated caches: a shipped name (msi, mesi, moesi, write-once) or a path to a .map file (default mesi)")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -225,6 +230,15 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	var protoTab *coherence.Table
+	protoName := "mesi"
+	if *protoID != "" {
+		// Resolve runs the full gauntlet: parse, compile, model check.
+		if protoTab, err = protocols.Resolve(*protoID); err != nil {
+			return fail(err)
+		}
+		protoName = protoTab.Name
+	}
 	if *parallel < 1 {
 		*parallel = 1
 	}
@@ -240,7 +254,7 @@ func run() int {
 		}
 	}
 
-	jl := &journal{path: *ckptPath, every: *ckptN, scale: *scaleID, csv: *csv, cpus: *cpus, done: make(map[string]outcome)}
+	jl := &journal{path: *ckptPath, every: *ckptN, scale: *scaleID, csv: *csv, cpus: *cpus, proto: protoName, done: make(map[string]outcome)}
 	if *resume != "" {
 		if err := jl.load(*resume); err != nil {
 			return fail(err)
@@ -339,7 +353,7 @@ func run() int {
 				return
 			}
 			start := time.Now()
-			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem, Obs: reg, NumCPUs: *cpus})
+			res, err := experiments.RunWith(id, scale, experiments.Options{Parallel: *parallel, BigMem: *bigmem, Obs: reg, NumCPUs: *cpus, Protocol: protoTab})
 			o := outcome{id: id, err: err, elapsed: time.Since(start)}
 			if err == nil {
 				o.text = render(res, *csv)

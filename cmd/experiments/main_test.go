@@ -173,3 +173,39 @@ func TestRunCPUsOverride(t *testing.T) {
 		t.Fatalf("hostscale with -cpus 24 exited %d", code)
 	}
 }
+
+// -protocol accepts a shipped name or a .map file path and threads the
+// table into every board the experiment builds; a journal written under
+// one protocol must not resume a run under another.
+func TestRunProtocolFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	if code := runCLI(t, "-run", "table2", "-scale", "ci", "-parallel", "1", "-protocol", "moesi"); code != 0 {
+		t.Fatalf("table2 with -protocol moesi exited %d", code)
+	}
+	mapPath := filepath.Join("..", "..", "protocols", "msi.map")
+	if code := runCLI(t, "-run", "table2", "-scale", "ci", "-parallel", "1", "-protocol", mapPath); code != 0 {
+		t.Fatalf("table2 with -protocol %s exited %d", mapPath, code)
+	}
+}
+
+func TestRunBadProtocol(t *testing.T) {
+	if code := runCLI(t, "-run", "table1", "-scale", "ci", "-protocol", "nonsense"); code == 0 {
+		t.Fatal("unknown -protocol accepted")
+	}
+}
+
+func TestJournalProtocolMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j := newTestJournal(path, 1)
+	j.proto = "mesi"
+	if err := j.record(outcome{id: "table5", text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	j2 := newTestJournal(path, 1)
+	j2.proto = "moesi"
+	if err := j2.load(path); err == nil {
+		t.Fatal("journal from a mesi run loaded into a moesi run")
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"memories/internal/prof"
 	"memories/internal/simbase"
 	"memories/internal/tracefile"
+	"memories/protocols"
 )
 
 // errInterrupted aborts the replay loop cleanly after a checkpoint.
@@ -134,6 +135,7 @@ func run() int {
 		boardMode = flag.Bool("board", false, "replay through the sharded board pipeline and report sustained tx/s")
 		shards    = flag.Int("shards", 0, "shard count for -board (power of two; 0: GOMAXPROCS)")
 		pin       = flag.Bool("pin", false, "pin -board shard workers to their NUMA-placed CPUs")
+		protoID   = flag.String("protocol", "", "coherence protocol: a shipped name (msi, mesi, moesi, write-once) or a path to a .map file (default mesi)")
 	)
 	profFlags := prof.Flags(flag.CommandLine)
 	flag.Parse()
@@ -153,24 +155,31 @@ func run() int {
 	for i := range cpus {
 		cpus[i] = i
 	}
+	// Resolve runs the full gauntlet: parse, compile, model check.
+	proto := coherence.MESI()
+	if *protoID != "" {
+		if proto, err = protocols.Resolve(*protoID); err != nil {
+			return fail(err)
+		}
+	}
 	if *boardMode {
 		if *ckptPath != "" || *resume != "" || *obsAddr != "" {
 			return fail(errors.New("-board measures throughput; it cannot be combined with -checkpoint, -resume, or -obs"))
 		}
-		return runBoard(flag.Arg(0), geom, cpus, *shards, *pin, *workers, profFlags)
+		return runBoard(flag.Arg(0), geom, cpus, proto, *shards, *pin, *workers, profFlags)
 	}
 	sim, err := simbase.NewTraceSim([]simbase.TraceNodeConfig{{
 		CPUs:     cpus,
 		Geometry: geom,
 		Policy:   cache.LRU,
-		Protocol: coherence.MESI(),
+		Protocol: proto,
 	}})
 	if err != nil {
 		return fail(err)
 	}
 	state := &replayState{
 		sim:         sim,
-		fingerprint: fmt.Sprintf("geom=%s cpus=%d policy=lru proto=mesi", geom, *ncpu),
+		fingerprint: fmt.Sprintf("geom=%s cpus=%d policy=lru proto=%s", geom, *ncpu, proto.Name),
 	}
 	if *resume != "" {
 		actual, err := state.load(*resume)
@@ -294,13 +303,13 @@ func run() int {
 // feeds the board; nothing is filtered, checkpointed, or mirrored into
 // a registry — this mode exists to measure how fast the emulation core
 // itself can drink a real trace, end to end from the mmap'd file bytes.
-func runBoard(path string, geom addr.Geometry, cpus []int, shards int, pin bool, workers int, profFlags *prof.Config) int {
+func runBoard(path string, geom addr.Geometry, cpus []int, proto *coherence.Table, shards int, pin bool, workers int, profFlags *prof.Config) int {
 	sb, err := core.NewShardedBoard(core.Config{Nodes: []core.NodeConfig{{
 		Name:     "l3",
 		CPUs:     cpus,
 		Geometry: geom,
 		Policy:   cache.LRU,
-		Protocol: coherence.MESI(),
+		Protocol: proto,
 	}}}, core.ShardedConfig{Shards: shards, Pin: pin})
 	if err != nil {
 		return fail(err)

@@ -138,3 +138,28 @@ func TestRunUsageError(t *testing.T) {
 		t.Fatal("bad -l3 accepted")
 	}
 }
+
+// -protocol swaps the coherence table for both the serial replay and
+// the -board pipeline, and rejects unknown names before touching the
+// trace. A checkpoint written under one protocol must not resume a
+// replay under another (the fingerprint carries the protocol name).
+func TestRunProtocolFlag(t *testing.T) {
+	trace := writeTestTrace(t, 5_000)
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-protocol", "moesi", trace); code != 0 {
+		t.Fatalf("replay with -protocol moesi exited %d", code)
+	}
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-board", "-shards", "2", "-protocol", "msi", trace); code != 0 {
+		t.Fatalf("-board with -protocol msi exited %d", code)
+	}
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-protocol", "nonsense", trace); code == 0 {
+		t.Fatal("unknown -protocol accepted")
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "replay.ckpt")
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-protocol", "moesi", "-checkpoint", ckpt, "-checkpoint-every", "1000", trace); code != 0 {
+		t.Fatalf("checkpointed moesi replay exited %d", code)
+	}
+	if code := runCLI(t, "-l3", "256KB", "-cpus", "4", "-resume", ckpt, trace); code == 0 {
+		t.Fatal("moesi checkpoint resumed into a mesi replay")
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"testing"
 )
 
-// TestShippedProtocolFiles parses and validates every protocol map file
-// shipped in the repository's protocols/ directory — the artifacts a user
-// would load through the console's loadmap command.
+// TestShippedProtocolFiles parses, compiles, and model-checks every
+// protocol map file shipped in the repository's protocols/ directory —
+// the artifacts a user would load through the console's loadmap command
+// or the -protocol flag — and requires each to survive a
+// format→reparse→format round trip byte-identically.
 func TestShippedProtocolFiles(t *testing.T) {
 	files, err := filepath.Glob("../../protocols/*.map")
 	if err != nil {
@@ -29,10 +31,36 @@ func TestShippedProtocolFiles(t *testing.T) {
 			continue
 		}
 		if err := tab.Validate(); err != nil {
-			t.Errorf("%s: %v", path, err)
+			t.Errorf("%s: Validate: %v", path, err)
 		}
-		if tab.Name == "" {
-			t.Errorf("%s: unnamed protocol", path)
+		eng, err := Compile(tab)
+		if err != nil {
+			t.Errorf("%s: Compile: %v", path, err)
+			continue
+		}
+		if eng.Name() != tab.Name || tab.Name == "" {
+			t.Errorf("%s: engine name %q vs table %q", path, eng.Name(), tab.Name)
+		}
+		if err := Check(tab); err != nil {
+			t.Errorf("%s: Check: %v", path, err)
+		}
+		// The canonical serialization must be a fixed point: format the
+		// parsed table, reparse, format again, byte-identical.
+		once, err := MapFileString(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := ParseMapFileString(once)
+		if err != nil {
+			t.Errorf("%s: reparse of formatted output: %v", path, err)
+			continue
+		}
+		twice, err := MapFileString(reparsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if once != twice {
+			t.Errorf("%s: format→reparse→format is not byte-identical:\n--- first\n%s--- second\n%s", path, once, twice)
 		}
 	}
 }

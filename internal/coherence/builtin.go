@@ -43,9 +43,12 @@ func MESI() *Table {
 	t.SetAllSnoops(SnoopWrite, Exclusive, Invalid, 0)
 	t.SetAllSnoops(SnoopWrite, Modified, Invalid, ActRespondModified)
 
-	// Snoop castout: another node wrote a line back; no state change here.
-	for st := 0; st < NumStates; st++ {
-		t.SetAllSnoops(SnoopCastout, State(st), State(st), 0)
+	// Snoop castout: another node wrote a line back; no state change
+	// here. Only MESI's own four states get rows — Owned is not part of
+	// this protocol and the compiler rejects rules for unreachable
+	// states.
+	for _, st := range []State{Invalid, Shared, Exclusive, Modified} {
+		t.SetAllSnoops(SnoopCastout, st, st, 0)
 	}
 	return t
 }

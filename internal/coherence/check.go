@@ -1,0 +1,425 @@
+package coherence
+
+// Check is the model checker behind "machine-verified at load": it
+// explores the FULL reachable state space of N peer caches contending
+// for one line under a compiled protocol and rejects incoherence with a
+// counterexample trace. The abstraction tracks, besides each cache's
+// protocol state, one bit of data: whether a copy (and memory) holds
+// the latest written value. That is enough to catch the classic
+// failure classes — two writable copies, a reader observing stale data
+// after a write, a dirty line dropped with its writeback lost, and
+// protocol livelock — while keeping the space tiny (≤ (2·NumStates)^N
+// · 2 states), so exhaustive breadth-first search is exact and runs in
+// microseconds.
+//
+// Event semantics mirror the board (internal/core): a local op computes
+// its snoop input from the peers' current states (dirty peer →
+// modified, any valid peer → shared, else none), the local cache takes
+// its transition, and every peer applies the matching snoop row. A
+// peer answering respond-modified supplies the data on the bus,
+// superseding a memory fetch; a peer writeback flushes its copy's
+// value to memory. Castout is deliberately NOT in the event alphabet:
+// on this board it models the hierarchy below pushing a dirty victim
+// into the emulated cache (paper §3.4's non-inclusive passive
+// emulation), whose legality depends on the lower level's protocol,
+// outside this single-level model. Eviction is: a dirty copy writes
+// its value back, a clean copy is silently dropped — exactly the
+// directory's replacement path.
+
+import "fmt"
+
+// CheckEvent is one step of a counterexample trace.
+type CheckEvent uint8
+
+const (
+	// EvRead: a processor under the given cache issued a read.
+	EvRead CheckEvent = iota
+	// EvWrite: a processor under the given cache issued a write
+	// (RWITM on miss, DClaim on hit).
+	EvWrite
+	// EvEvict: the given cache evicted the line (capacity victim).
+	EvEvict
+)
+
+var checkEventNames = [...]string{"read", "write", "evict"}
+
+// String returns the event mnemonic.
+func (e CheckEvent) String() string {
+	if int(e) < len(checkEventNames) {
+		return checkEventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// ViolationKind classifies the incoherence a CheckError reports.
+type ViolationKind uint8
+
+const (
+	// ViolationConflictingCopies: a writable copy (E or M) coexists
+	// with any other valid copy, or two caches are dirty at once.
+	ViolationConflictingCopies ViolationKind = iota
+	// ViolationStaleRead: a read (or the read half of a
+	// read-with-intent-to-modify) observed data older than the last
+	// write.
+	ViolationStaleRead
+	// ViolationLostWrite: the latest written value is gone — memory is
+	// stale and no valid cache copy holds it (a writeback was dropped).
+	ViolationLostWrite
+	// ViolationLivelock: repeating a single operation from one cache
+	// cycles through states forever without reaching a fixed point.
+	ViolationLivelock
+)
+
+var violationNames = [...]string{
+	ViolationConflictingCopies: "conflicting copies",
+	ViolationStaleRead:         "stale read",
+	ViolationLostWrite:         "lost write",
+	ViolationLivelock:          "livelock",
+}
+
+// String returns a short description of the violation.
+func (k ViolationKind) String() string {
+	if int(k) < len(violationNames) {
+		return violationNames[k]
+	}
+	return fmt.Sprintf("violation(%d)", uint8(k))
+}
+
+// CheckStep is one event of a counterexample trace.
+type CheckStep struct {
+	Cache int
+	Event CheckEvent
+}
+
+// CheckError reports a coherence violation with the shortest event
+// sequence (from the all-Invalid initial state) that produces it.
+type CheckError struct {
+	Protocol string
+	Kind     ViolationKind
+	Trace    []CheckStep
+	Detail   string
+}
+
+func (e *CheckError) Error() string {
+	s := fmt.Sprintf("protocol %s: %s", e.Protocol, e.Kind)
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	if len(e.Trace) > 0 {
+		s += " after ["
+		for i, st := range e.Trace {
+			if i > 0 {
+				s += ", "
+			}
+			s += fmt.Sprintf("cache%d %s", st.Cache, st.Event)
+		}
+		s += "]"
+	}
+	return s
+}
+
+// ckState is the abstract system state: per-cache protocol state plus
+// a freshness bit (does this copy hold the latest written value), and
+// one freshness bit for memory. Encoded 4 bits per cache + 1 bit.
+type ckState struct {
+	st    [maxCheckCaches]State
+	fresh [maxCheckCaches]bool
+	mem   bool
+}
+
+const maxCheckCaches = 6
+
+func (s *ckState) key(n int) uint32 {
+	k := uint32(0)
+	for i := 0; i < n; i++ {
+		nib := uint32(s.st[i])
+		if s.fresh[i] {
+			nib |= 8
+		}
+		k = k<<4 | nib
+	}
+	if s.mem {
+		k |= 1 << 31
+	}
+	return k
+}
+
+func (s *ckState) render(n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += s.st[i].String()
+		if s.st[i].IsValid() {
+			if s.fresh[i] {
+				out += "+"
+			} else {
+				out += "-"
+			}
+		}
+	}
+	if s.mem {
+		return out + " mem+"
+	}
+	return out + " mem-"
+}
+
+// checker holds one exploration run.
+type checker struct {
+	eng    *Engine
+	n      int
+	parent map[uint32]traceLink
+}
+
+type traceLink struct {
+	prev  uint32
+	step  CheckStep
+	first bool // true for the initial state (no predecessor)
+}
+
+// Check compiles the table and exhaustively model-checks it with 3
+// peer caches (enough to exhibit every violation class the model can
+// express, including owner/sharer/writer triangles). It returns nil
+// only when the protocol is coherent; defects surface as *CompileError
+// (structural) or *CheckError (semantic, with a counterexample trace).
+func Check(t *Table) error { return CheckN(t, 3) }
+
+// CheckN model-checks the table with n caches, 2 ≤ n ≤ 6.
+func CheckN(t *Table, n int) error {
+	eng, err := Compile(t)
+	if err != nil {
+		return err
+	}
+	if n < 2 || n > maxCheckCaches {
+		return fmt.Errorf("coherence: CheckN needs 2..%d caches, got %d", maxCheckCaches, n)
+	}
+	ck := &checker{eng: eng, n: n, parent: map[uint32]traceLink{}}
+	return ck.run(t.Name)
+}
+
+// trace reconstructs the event path from the initial state to key.
+func (ck *checker) trace(key uint32, extra ...CheckStep) []CheckStep {
+	var rev []CheckStep
+	for {
+		l := ck.parent[key]
+		if l.first {
+			break
+		}
+		rev = append(rev, l.step)
+		key = l.prev
+	}
+	out := make([]CheckStep, 0, len(rev)+len(extra))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return append(out, extra...)
+}
+
+func (ck *checker) run(name string) error {
+	init := ckState{mem: true}
+	ck.parent[init.key(ck.n)] = traceLink{first: true}
+	queue := []ckState{init}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curKey := cur.key(ck.n)
+
+		// Livelock probe: from this reachable state, repeating any
+		// single (cache, read|write) event must reach a fixed point.
+		for i := 0; i < ck.n; i++ {
+			for _, ev := range []CheckEvent{EvRead, EvWrite} {
+				if err := ck.probeLivelock(name, cur, curKey, i, ev); err != nil {
+					return err
+				}
+			}
+		}
+
+		for i := 0; i < ck.n; i++ {
+			for _, ev := range []CheckEvent{EvRead, EvWrite, EvEvict} {
+				if ev == EvEvict && !cur.st[i].IsValid() {
+					continue
+				}
+				next, stale := ck.step(cur, i, ev)
+				stepHere := CheckStep{Cache: i, Event: ev}
+				if stale {
+					return &CheckError{
+						Protocol: name, Kind: ViolationStaleRead,
+						Trace:  ck.trace(curKey, stepHere),
+						Detail: fmt.Sprintf("cache%d observes stale data (state %s)", i, next.render(ck.n)),
+					}
+				}
+				nextKey := next.key(ck.n)
+				if _, seen := ck.parent[nextKey]; seen {
+					continue
+				}
+				ck.parent[nextKey] = traceLink{prev: curKey, step: stepHere}
+				if err := ck.invariants(name, &next, nextKey); err != nil {
+					return err
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+// invariants checks the state-level coherence properties.
+func (ck *checker) invariants(name string, s *ckState, key uint32) error {
+	dirty, writable, valid := 0, 0, 0
+	anyFresh := false
+	for i := 0; i < ck.n; i++ {
+		st := s.st[i]
+		if st.IsValid() {
+			valid++
+			if s.fresh[i] {
+				anyFresh = true
+			}
+		}
+		if st.IsDirty() {
+			dirty++
+		}
+		if st == Exclusive || st == Modified {
+			writable++
+		}
+	}
+	if dirty > 1 || (writable > 0 && valid > 1) || writable > 1 {
+		return &CheckError{
+			Protocol: name, Kind: ViolationConflictingCopies,
+			Trace:  ck.trace(key),
+			Detail: fmt.Sprintf("state %s", s.render(ck.n)),
+		}
+	}
+	if !s.mem && !anyFresh {
+		return &CheckError{
+			Protocol: name, Kind: ViolationLostWrite,
+			Trace:  ck.trace(key),
+			Detail: fmt.Sprintf("latest value lost: state %s", s.render(ck.n)),
+		}
+	}
+	return nil
+}
+
+// probeLivelock repeats one (cache, event) from cur; the chain is
+// deterministic, so it either reaches a fixed point or cycles. A cycle
+// through ≥2 distinct states means the line never stabilizes under a
+// repeated operation — livelock.
+func (ck *checker) probeLivelock(name string, cur ckState, curKey uint32, cache int, ev CheckEvent) error {
+	seen := map[uint32]bool{cur.key(ck.n): true}
+	s := cur
+	for {
+		next, _ := ck.step(s, cache, ev)
+		nk := next.key(ck.n)
+		if nk == s.key(ck.n) {
+			return nil // fixed point: the op is idempotent from here
+		}
+		if seen[nk] {
+			return &CheckError{
+				Protocol: name, Kind: ViolationLivelock,
+				Trace: ck.trace(curKey, CheckStep{Cache: cache, Event: ev}),
+				Detail: fmt.Sprintf("repeating cache%d %s never reaches a fixed point (cycle at %s)",
+					cache, ev, next.render(ck.n)),
+			}
+		}
+		seen[nk] = true
+		s = next
+	}
+}
+
+// step applies one event and returns the successor plus whether the
+// event observed stale data.
+func (ck *checker) step(cur ckState, i int, ev CheckEvent) (ckState, bool) {
+	next := cur
+	switch ev {
+	case EvEvict:
+		// Replacement: the directory writes dirty victims back and
+		// drops clean ones — not a protocol-table transition.
+		if cur.st[i].IsDirty() {
+			next.mem = cur.fresh[i]
+		}
+		next.st[i] = Invalid
+		next.fresh[i] = false
+		return next, false
+	case EvRead, EvWrite:
+		localOp, snoopOp := LocalRead, SnoopRead
+		if ev == EvWrite {
+			localOp, snoopOp = LocalWrite, SnoopWrite
+		}
+
+		// Combined snoop input from the peers, as Board.process derives it.
+		snoopIn := SnoopNone
+		for j := 0; j < ck.n; j++ {
+			if j == i {
+				continue
+			}
+			if cur.st[j].IsDirty() {
+				snoopIn = SnoopModified
+				break
+			}
+			if cur.st[j].IsValid() {
+				snoopIn = SnoopShared
+			}
+		}
+		local := ck.eng.Lookup(localOp, cur.st[i], snoopIn)
+
+		// Peer snoop responses from their pre-event states. A
+		// respond-modified peer drives the data on the bus; a
+		// writeback flushes the peer's value to memory.
+		supplied, supplierFresh := false, false
+		for j := 0; j < ck.n; j++ {
+			if j == i {
+				continue
+			}
+			pe := ck.eng.Lookup(snoopOp, cur.st[j], SnoopNone)
+			if pe.Actions.Has(ActRespondModified) && !supplied {
+				supplied, supplierFresh = true, cur.fresh[j]
+			}
+			if pe.Actions.Has(ActWriteback) {
+				next.mem = cur.fresh[j]
+			}
+			next.st[j] = pe.Next
+			if !pe.Next.IsValid() {
+				next.fresh[j] = false
+			}
+		}
+
+		// Data observation. A miss fetches the line — from the
+		// supplying peer if one intervened, else from memory (post any
+		// peer writeback) — whether or not it allocates a copy; a hit
+		// reads the local copy.
+		stale := false
+		if cur.st[i] == Invalid {
+			acquired := next.mem
+			if supplied {
+				acquired = supplierFresh
+			}
+			if local.Actions.Has(ActAllocate) {
+				next.fresh[i] = acquired
+			}
+			stale = !acquired
+		} else {
+			stale = !cur.fresh[i]
+		}
+		next.st[i] = local.Next
+		if !local.Next.IsValid() {
+			next.fresh[i] = false
+		}
+
+		if ev == EvWrite {
+			// The write creates the newest value: every other copy and
+			// memory become stale. If the protocol keeps no copy
+			// (write-through), the value commits to memory instead.
+			for j := 0; j < ck.n; j++ {
+				next.fresh[j] = false
+			}
+			if local.Next.IsValid() {
+				next.fresh[i] = true
+				next.mem = false
+			} else {
+				next.mem = true
+			}
+		}
+		return next, stale
+	}
+	return next, false
+}

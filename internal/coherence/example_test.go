@@ -1,0 +1,22 @@
+package coherence_test
+
+import (
+	"fmt"
+
+	"memories/internal/coherence"
+)
+
+// ExampleCheck model-checks a deliberately broken MESI variant whose
+// dirty snoop-read downgrade forgot the writeback: the first reader is
+// served by intervention, but memory is never updated, so a later read
+// that misses with only clean sharers on the bus observes stale data.
+func ExampleCheck() {
+	tab := coherence.MESI()
+	tab.Name = "mesi-no-wb"
+	tab.SetAllSnoops(coherence.SnoopRead, coherence.Modified,
+		coherence.Shared, coherence.ActRespondModified) // writeback dropped
+	err := coherence.Check(tab)
+	fmt.Println(err)
+	// Output:
+	// protocol mesi-no-wb: stale read: cache2 observes stale data (state S+ S+ S- mem-) after [cache0 write, cache1 read, cache2 read]
+}

@@ -67,9 +67,25 @@ func MapFileString(t *Table) (string, error) {
 	return sb.String(), nil
 }
 
-// ParseMapFile parses a protocol map file. The returned table is NOT
-// validated; callers decide whether to require Validate (the board's
-// console software does before loading a table into a node controller).
+// ParseError reports a syntactically invalid map file: an unknown op,
+// state, snoop or action mnemonic, or a malformed directive. Line is
+// the 1-based map-file line, 0 when the defect is not tied to one.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return e.Msg
+}
+
+// ParseMapFile parses a protocol map file. Syntax defects return a
+// typed *ParseError. The returned table is NOT validated; callers
+// decide whether to require Compile/Check (the board's console software
+// does before loading a table into a node controller).
 func ParseMapFile(r io.Reader) (*Table, error) {
 	t := &Table{}
 	sc := bufio.NewScanner(r)
@@ -86,25 +102,25 @@ func ParseMapFile(r io.Reader) (*Table, error) {
 		}
 		if strings.EqualFold(fields[0], "protocol") {
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: protocol directive needs exactly one name", lineNo)
+				return nil, &ParseError{Line: lineNo, Msg: "protocol directive needs exactly one name"}
 			}
 			t.Name = fields[1]
 			continue
 		}
-		if err := parseTransition(t, fields); err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		if err := parseTransition(t, fields, lineNo); err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if t.Name == "" {
-		return nil, fmt.Errorf("coherence: map file missing protocol directive")
+		return nil, &ParseError{Msg: "coherence: map file missing protocol directive"}
 	}
 	return t, nil
 }
 
-func parseTransition(t *Table, fields []string) error {
+func parseTransition(t *Table, fields []string, lineNo int) error {
 	// <op> <state> <snoop|*> -> <next> [action...]
 	if len(fields) < 5 {
 		return fmt.Errorf("transition needs at least 5 fields, got %d", len(fields))
@@ -136,14 +152,14 @@ func parseTransition(t *Table, fields []string) error {
 		actions |= a
 	}
 	if fields[2] == "*" {
-		t.SetAllSnoops(op, st, next, actions)
+		t.applyParsed(op, st, -1, next, actions, lineNo)
 		return nil
 	}
 	sn, err := ParseSnoopIn(fields[2])
 	if err != nil {
 		return err
 	}
-	t.Set(op, st, sn, next, actions)
+	t.applyParsed(op, st, int(sn), next, actions, lineNo)
 	return nil
 }
 

@@ -230,6 +230,54 @@ type Table struct {
 	// files).
 	Name    string
 	entries [NumOps][NumStates][NumSnoopIns]Entry
+
+	// Rule provenance, recorded only by the map-file parser so Compile
+	// can distinguish a legal wildcard-then-refine sequence from two
+	// rules that genuinely disagree. Programmatic Set calls leave it
+	// zero: last-wins, never ambiguous.
+	prov  [NumOps][NumStates][NumSnoopIns]ruleProv
+	ambig []ambiguity
+}
+
+// ruleProv records which kind of map-file rule last wrote a cell.
+type ruleProv struct {
+	level uint8 // 0 = programmatic/none, 1 = '*' wildcard, 2 = exact snoop
+	line  int32
+}
+
+// ambiguity records a conflict between two parsed rules of equal or
+// inverted specificity claiming the same cell with different entries.
+type ambiguity struct {
+	op             Op
+	st             State
+	sn             SnoopIn
+	line, prevLine int32
+}
+
+// applyParsed installs a parsed rule (snoopIdx < 0 means the '*'
+// wildcard), tracking provenance. A more specific rule overriding a
+// less specific one is the documented refinement idiom; an equally or
+// less specific rule that changes an existing cell is recorded as an
+// ambiguity for Compile to reject. Restating an identical entry is
+// always legal.
+func (t *Table) applyParsed(op Op, st State, snoopIdx int, next State, actions Action, line int) {
+	level, lo, hi := uint8(2), snoopIdx, snoopIdx+1
+	if snoopIdx < 0 {
+		level, lo, hi = 1, 0, NumSnoopIns
+	}
+	for sn := lo; sn < hi; sn++ {
+		e := Entry{Next: next, Actions: actions, defined: true}
+		old := t.prov[op][st][sn]
+		if old.level != 0 && level <= old.level && t.entries[op][st][sn] != e &&
+			len(t.ambig) < 16 {
+			t.ambig = append(t.ambig, ambiguity{
+				op: op, st: st, sn: SnoopIn(sn),
+				line: int32(line), prevLine: old.line,
+			})
+		}
+		t.entries[op][st][sn] = e
+		t.prov[op][st][sn] = ruleProv{level: level, line: int32(line)}
+	}
 }
 
 // Set defines the transition for (op, cur, snoop).
@@ -295,17 +343,24 @@ func (t *Table) States() []State {
 	return out
 }
 
-// Validate checks the table for structural soundness:
+// Validate checks the table for structural soundness; every failure is
+// a typed *CompileError:
 //
 //   - every (op, state, snoop) reachable combination is defined for states
-//     the protocol uses;
-//   - a snoop-write always leaves the line Invalid (another cache claimed
-//     exclusive ownership);
+//     the protocol uses (ErrMissingTransition);
+//   - a snoop-write always leaves the line Invalid — another cache claimed
+//     exclusive ownership (ErrSnoopWriteKeepsCopy);
 //   - a local op on an Invalid line that allocates fetches data from
-//     somewhere (memory or intervention);
-//   - transitions from Invalid without ActAllocate stay Invalid;
+//     somewhere, memory or intervention (ErrNoDataSource);
+//   - transitions from Invalid without ActAllocate stay Invalid
+//     (ErrLeavesInvalid);
 //   - dirty states answer snoop-reads with respond-modified or a
-//     writeback (ownership must be visible).
+//     writeback — ownership must be visible (ErrHiddenDirty).
+//
+// Compile enforces a stricter superset (adding ambiguity and
+// unreachable-state rejection) and is what node controllers run before
+// loading a table; Check additionally model-checks the protocol's
+// reachable state space.
 func (t *Table) Validate() error {
 	used := map[State]bool{}
 	for _, s := range t.States() {
@@ -319,32 +374,16 @@ func (t *Table) Validate() error {
 			for sn := 0; sn < NumSnoopIns; sn++ {
 				e := t.entries[op][st][sn]
 				if !e.defined {
-					return fmt.Errorf("protocol %s: missing transition %s/%s/%s",
-						t.Name, Op(op), State(st), SnoopIn(sn))
+					return &CompileError{
+						Protocol: t.Name, Kind: ErrMissingTransition,
+						Op: Op(op), State: State(st), Snoop: SnoopIn(sn), HasCell: true,
+					}
 				}
-				if err := t.lint(Op(op), State(st), SnoopIn(sn), e); err != nil {
+				if err := t.lintCell(Op(op), State(st), SnoopIn(sn), e); err != nil {
 					return err
 				}
 			}
 		}
-	}
-	return nil
-}
-
-func (t *Table) lint(op Op, st State, sn SnoopIn, e Entry) error {
-	ctx := func() string { return fmt.Sprintf("protocol %s: %s/%s/%s", t.Name, op, st, sn) }
-	switch {
-	case op == SnoopWrite && st != Invalid && e.Next != Invalid:
-		return fmt.Errorf("%s: snoop-write must invalidate, got next=%s", ctx(), e.Next)
-	case op.IsLocal() && st == Invalid && e.Actions.Has(ActAllocate) &&
-		op != LocalCastout &&
-		!e.Actions.Has(ActFetchMemory) && !e.Actions.Has(ActFetchIntervention):
-		return fmt.Errorf("%s: allocation without a data source", ctx())
-	case st == Invalid && !e.Actions.Has(ActAllocate) && e.Next != Invalid:
-		return fmt.Errorf("%s: leaves Invalid without allocating", ctx())
-	case op == SnoopRead && st.IsDirty() &&
-		!e.Actions.Has(ActRespondModified) && !e.Actions.Has(ActWriteback):
-		return fmt.Errorf("%s: dirty line must surface ownership on snoop-read", ctx())
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"memories/internal/checkpoint"
 	"memories/internal/coherence"
 	"memories/internal/core"
+	"memories/protocols"
 )
 
 // Console binds a command interpreter to a board.
@@ -351,8 +352,12 @@ func (c *Console) reprogram(args []string) error {
 				return fmt.Errorf("bad group %q", v)
 			}
 		case "protocol":
-			tab := coherence.Builtin(v)
-			if tab == nil {
+			// Shipped protocols resolve through the embedded map files,
+			// so every name the console accepts is compiled and
+			// model-checked on load (write-once works here too, not
+			// just the builtin trio).
+			tab, err := protocols.Load(v)
+			if err != nil {
 				return fmt.Errorf("unknown protocol %q", v)
 			}
 			nc.Protocol = tab
@@ -407,7 +412,10 @@ func (c *Console) finishLoadMap() error {
 	if err != nil {
 		return err
 	}
-	if err := tab.Validate(); err != nil {
+	// The full load-time gauntlet: compile (typed structural errors)
+	// plus the exhaustive model check — a user-typed protocol must be
+	// proven coherent before it reaches a node controller.
+	if err := coherence.Check(tab); err != nil {
 		return err
 	}
 	nc := c.board.Config().Nodes[c.pendingNode]

@@ -15,9 +15,14 @@ import (
 type node struct {
 	board *Board
 	cfg   NodeConfig
-	dir   *cache.Cache    // tag/state directory; states are coherence.State
-	tags  *sdram.TagStore // timing model pacing directory operations
-	prof  *stats.TimeSeries
+	// eng is the compiled protocol — the dense transition array the
+	// controller indexes directly, standing in for the map file loaded
+	// into the node controller FPGA (paper §3.2). Compile has proven
+	// every reachable cell defined, so lookups are branch-free.
+	eng  *coherence.Engine
+	dir  *cache.Cache    // tag/state directory; states are coherence.State
+	tags *sdram.TagStore // timing model pacing directory operations
+	prof *stats.TimeSeries
 
 	// Cached counters (hot path).
 	cReadHit, cReadMiss   *stats.Counter
@@ -52,8 +57,9 @@ func newNode(b *Board, nc NodeConfig, profileBucket uint64) (*node, error) {
 	if nc.Protocol == nil {
 		return nil, fmt.Errorf("core: node %q has no protocol table", nc.Name)
 	}
-	if err := nc.Protocol.Validate(); err != nil {
-		return nil, fmt.Errorf("core: node %q: %v", nc.Name, err)
+	eng, err := coherence.Compile(nc.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %q: %w", nc.Name, err)
 	}
 	if len(nc.CPUs) == 0 {
 		return nil, fmt.Errorf("core: node %q owns no CPUs", nc.Name)
@@ -74,6 +80,7 @@ func newNode(b *Board, nc NodeConfig, profileBucket uint64) (*node, error) {
 	n := &node{
 		board: b,
 		cfg:   nc,
+		eng:   eng,
 		dir:   dir,
 		tags:  sdram.New(sc),
 	}
@@ -141,12 +148,14 @@ func (n *node) setOf(a uint64) int64 { return n.cfg.Geometry.Index(a) }
 
 // sanitize guards the protocol lookup against corrupted directory states:
 // an injected (or real) soft error can leave a state byte outside the
-// protocol's state space, which MustLookup would treat as programmer
-// error. A wild state means the entry is garbage, so the controller drops
-// the line — the same repair the scrub pass applies to uncorrectable
-// entries — counts the event, and proceeds as a miss.
+// compiled protocol's reachable state space — including states that are
+// legal for some other protocol (Owned under MESI, Exclusive under MSI)
+// but that this table can never produce. A wild state means the entry is
+// garbage, so the controller drops the line — the same repair the scrub
+// pass applies to uncorrectable entries — counts the event, and proceeds
+// as a miss.
 func (n *node) sanitize(a uint64, cur coherence.State) coherence.State {
-	if int(cur) < coherence.NumStates {
+	if n.eng.Uses(cur) || cur == coherence.Invalid {
 		return cur
 	}
 	n.cWildState.Inc()
@@ -184,7 +193,7 @@ func (n *node) local(p pending, snoopIn coherence.SnoopIn) {
 		return
 	}
 	cur := n.sanitize(p.addr, coherence.State(n.dir.Access(p.addr)))
-	entry := n.cfg.Protocol.MustLookup(op, cur, snoopIn)
+	entry := n.eng.Lookup(op, cur, snoopIn)
 	n.cTransition[op][cur][snoopIn].Inc()
 
 	// Classification counters.
@@ -252,7 +261,7 @@ func (n *node) snoop(p pending) {
 		return
 	}
 	cur := n.sanitize(p.addr, coherence.State(n.dir.Probe(p.addr)))
-	entry := n.cfg.Protocol.MustLookup(op, cur, coherence.SnoopNone)
+	entry := n.eng.Lookup(op, cur, coherence.SnoopNone)
 	n.cTransition[op][cur][coherence.SnoopNone].Inc()
 
 	if cur.IsValid() {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"memories/internal/addr"
+	"memories/internal/coherence"
 	"memories/internal/obs"
 	"memories/internal/stats"
 	"memories/internal/workload/splash"
@@ -130,6 +131,14 @@ type Preset struct {
 	// default; set via Options.BigMem / cmd/experiments -bigmem.
 	BigMem bool
 
+	// Protocol, when non-nil, is the coherence protocol every emulated
+	// node the experiment builds runs under — the board's per-node
+	// protocol loading (§3.2) surfaced as cmd/experiments -protocol.
+	// nil keeps the MESI default every golden run was recorded with.
+	// The table must already be verified (compiled and model-checked);
+	// node construction compiles it again regardless.
+	Protocol *coherence.Table
+
 	// Obs, when non-nil, makes every board the experiment builds attach
 	// its counter bank to this registry under "<ObsScope>.<run label>.*"
 	// so a live sampler (cmd/experiments -obs) can watch the run. Set via
@@ -145,6 +154,16 @@ type Preset struct {
 	FaultsScrubCycles uint64    // background scrub interval, bus cycles
 	FaultsRates       []float64 // tag-store bit-flip probabilities per bus op
 	FaultsBurstProb   float64   // burst probability for the overflow run
+}
+
+// protocol returns the coherence protocol the experiment's emulated
+// nodes run under: Preset.Protocol when set, the MESI default
+// otherwise.
+func (p Preset) protocol() *coherence.Table {
+	if p.Protocol != nil {
+		return p.Protocol
+	}
+	return coherence.MESI()
 }
 
 // PresetFor returns the parameters for a scale.
@@ -265,6 +284,8 @@ var registry = map[string]runner{
 	"fig12":     {"Where an L2 miss is satisfied (FFT, Ocean, FMM)", runFig12},
 	"faults":    {"Fault injection: tag-store soft errors, scrub, and forced overflow retries", runFaults},
 	"hostscale": {"Event-wheel host scaling: dispatched events vs lock-step polls", runHostScale},
+
+	"protocolcompare": {"Coherence traffic under MSI vs MESI vs MOESI vs write-once (TPC-C)", runProtocolCompare},
 }
 
 // IDs returns the experiment identifiers in a stable order.
@@ -297,6 +318,9 @@ type Options struct {
 	// NumCPUs, when positive, overrides the emulated machine size (see
 	// Preset.NumCPUs). 0 keeps the preset defaults.
 	NumCPUs int
+	// Protocol, when non-nil, replaces MESI as the coherence protocol
+	// on every emulated node (see Preset.Protocol).
+	Protocol *coherence.Table
 }
 
 // Run regenerates one experiment at the given scale, serially — the
@@ -322,6 +346,7 @@ func RunWith(id string, scale Scale, opts Options) (*Result, error) {
 	p.Obs = opts.Obs
 	p.ObsScope = id
 	p.NumCPUs = opts.NumCPUs
+	p.Protocol = opts.Protocol
 	res, err := r.run(p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)

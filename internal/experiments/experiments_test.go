@@ -24,7 +24,7 @@ func TestScaleParsing(t *testing.T) {
 
 func TestIDsAndTitles(t *testing.T) {
 	ids := IDs()
-	want := []string{"faults", "fig1", "fig10", "fig11", "fig12", "fig8", "fig9", "hostscale", "table1", "table2", "table3", "table4", "table5", "table6"}
+	want := []string{"faults", "fig1", "fig10", "fig11", "fig12", "fig8", "fig9", "hostscale", "protocolcompare", "table1", "table2", "table3", "table4", "table5", "table6"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

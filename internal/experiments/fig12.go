@@ -35,7 +35,7 @@ func runFig12(p Preset) (*Result, error) {
 			for j := range cpus {
 				cpus[j] = n*procs + j
 			}
-			nodes = append(nodes, mesiNode(fmt.Sprintf("n%d", n), cpus,
+			nodes = append(nodes, stdNode(p, fmt.Sprintf("n%d", n), cpus,
 				p.Fig12CacheMB*addr.MB, p.Fig12LineB, 4, 0))
 		}
 		newGen := func() workload.Generator { return splash.New(name, p.Fig12Size, hcfg.NumCPUs, p.SplashSeed) }

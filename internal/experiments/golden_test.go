@@ -49,7 +49,7 @@ func TestExperimentsGolden(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("golden regeneration skipped under the race detector (covered by the plain CI job)")
 	}
-	for _, id := range []string{"fig8", "fig9", "fig11", "hostscale", "table3"} {
+	for _, id := range []string{"fig8", "fig9", "fig11", "hostscale", "protocolcompare", "table3"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -5,7 +5,6 @@ import (
 
 	"memories/internal/addr"
 	"memories/internal/cache"
-	"memories/internal/coherence"
 	"memories/internal/core"
 	"memories/internal/host"
 	"memories/internal/parallel"
@@ -21,14 +20,15 @@ func allCPUs(n int) []int {
 	return out
 }
 
-// mesiNode builds a standard MESI/LRU node configuration.
-func mesiNode(name string, cpus []int, sizeBytes, lineBytes int64, assoc, group int) core.NodeConfig {
+// stdNode builds a standard LRU node configuration running the
+// preset's coherence protocol (MESI unless -protocol overrode it).
+func stdNode(p Preset, name string, cpus []int, sizeBytes, lineBytes int64, assoc, group int) core.NodeConfig {
 	return core.NodeConfig{
 		Name:     name,
 		CPUs:     cpus,
 		Geometry: addr.MustGeometry(sizeBytes, lineBytes, assoc),
 		Policy:   cache.LRU,
-		Protocol: coherence.MESI(),
+		Protocol: p.protocol(),
 		Group:    group,
 	}
 }
@@ -95,7 +95,7 @@ func cacheSweep(p Preset, scope string, hcfg host.Config, newGen func() workload
 		end := min(start+core.MaxNodes, len(sizes))
 		var nodes []core.NodeConfig
 		for i, size := range sizes[start:end] {
-			nodes = append(nodes, mesiNode(fmt.Sprintf("s%d", start+i), allCPUs(hcfg.NumCPUs), size, lineBytes, assoc, i))
+			nodes = append(nodes, stdNode(p, fmt.Sprintf("s%d", start+i), allCPUs(hcfg.NumCPUs), size, lineBytes, assoc, i))
 		}
 		b, _, err := boardRun(p, sweepLabel(scope, bi), hcfg, newGen, core.Config{Nodes: nodes}, refs)
 		if err != nil {
@@ -135,7 +135,7 @@ func procSweep(p Preset, scope string, hcfg host.Config, newGen func() workload.
 			for j := range cpus {
 				cpus[j] = n*procs + j
 			}
-			nodes = append(nodes, mesiNode(fmt.Sprintf("n%d", n), cpus, cacheBytes, lineBytes, assoc, 0))
+			nodes = append(nodes, stdNode(p, fmt.Sprintf("n%d", n), cpus, cacheBytes, lineBytes, assoc, 0))
 		}
 		b, _, err := boardRun(p, sweepLabel(scope, batch), hcfg, newGen, core.Config{Nodes: nodes}, refs)
 		if err != nil {

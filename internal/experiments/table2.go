@@ -51,7 +51,7 @@ func runTable2(p Preset) (*Result, error) {
 			CPUs:     cpus,
 			Geometry: g,
 			Policy:   cache.LRU,
-			Protocol: coherence.MESI(),
+			Protocol: p.protocol(),
 		}}})
 		if err != nil {
 			return nil, fmt.Errorf("table2: board rejected %v: %v", c, err)

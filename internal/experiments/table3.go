@@ -7,7 +7,6 @@ import (
 	"memories/internal/addr"
 	"memories/internal/bus"
 	"memories/internal/cache"
-	"memories/internal/coherence"
 	"memories/internal/core"
 	"memories/internal/parallel"
 	"memories/internal/simbase"
@@ -49,7 +48,7 @@ func runTable3(p Preset) (*Result, error) {
 			CPUs:     allCPUs(8),
 			Geometry: addr.MustGeometry(64*addr.MB, 128, 4),
 			Policy:   cache.LRU,
-			Protocol: coherence.MESI(),
+			Protocol: p.protocol(),
 		}})
 		gen := workload.NewZipfian(workload.ZipfConfig{
 			NumCPUs: 8, FootprintByte: 1 * addr.GB, WriteFraction: 0.3, Seed: 7,

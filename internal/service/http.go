@@ -31,8 +31,16 @@ type CreateRequest struct {
 	Assoc int `json:"assoc,omitempty"`
 	// Policy selects replacement: lru, plru, fifo, random.
 	Policy string `json:"policy,omitempty"`
-	// Protocol selects the coherence table: mesi, msi, moesi.
+	// Protocol selects a shipped coherence table by name (mesi, msi,
+	// moesi, write-once). Mutually exclusive with ProtocolMap.
 	Protocol string `json:"protocol,omitempty"`
+	// ProtocolMap is inline map-file text for a custom coherence
+	// protocol ("bring your own protocol"). The text runs the full
+	// load-time gauntlet — parse, compile, exhaustive model check —
+	// before any board is built; incoherent tables are rejected with
+	// the checker's counterexample trace. File paths are deliberately
+	// not accepted here.
+	ProtocolMap string `json:"protocol_map,omitempty"`
 	// CPUs is how many host bus IDs feed the node (default 8).
 	CPUs int `json:"cpus,omitempty"`
 	// ECC enables SECDED protection on the emulated tag store.

@@ -18,6 +18,7 @@ import (
 	"memories/internal/checkpoint"
 	"memories/internal/core"
 	"memories/internal/tracefile"
+	"memories/protocols"
 )
 
 // testServer starts a service on a loopback port and returns its base
@@ -714,4 +715,54 @@ func TestIngestErrors(t *testing.T) {
 		t.Fatalf("oversized ingest: status %d", resp.StatusCode)
 	}
 	drainBody(resp)
+}
+
+// A custom protocol arrives as inline map text and runs the full
+// load-time gauntlet: a coherent table builds the session (and names
+// it), an incoherent one is rejected with the model checker's
+// counterexample, and combining protocol with protocol_map is an error.
+func TestCreateProtocolMap(t *testing.T) {
+	srv, base := testServer(t, Config{})
+
+	src, err := protocols.Source("write-once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, base+"/sessions", CreateRequest{
+		ID: "custom", Cache: "64KB", LineBytes: 64, ProtocolMap: src,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("inline map rejected: status %d: %s", resp.StatusCode, drainBody(resp))
+	}
+	var info SessionInfo
+	decodeInto(t, resp, &info)
+	if info.Protocol != "write-once" {
+		t.Fatalf("session protocol = %q, want write-once", info.Protocol)
+	}
+
+	// Drop the writeback from MESI's snooped-dirty-read rule: parses
+	// fine, fails the model check with a stale-read counterexample.
+	bad := strings.Replace(src,
+		"snoop-read M * -> S respond-modified writeback",
+		"snoop-read M * -> S respond-modified", 1)
+	if bad == src {
+		t.Fatal("mutation did not apply")
+	}
+	resp = postJSON(t, base+"/sessions", CreateRequest{Cache: "64KB", LineBytes: 64, ProtocolMap: bad})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("incoherent map: status %d, want 400", resp.StatusCode)
+	}
+	if body := drainBody(resp); !strings.Contains(body, "stale read") {
+		t.Fatalf("incoherent map error lacks the checker verdict: %s", body)
+	}
+
+	resp = postJSON(t, base+"/sessions", CreateRequest{Cache: "64KB", LineBytes: 64, Protocol: "msi", ProtocolMap: src})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("protocol+protocol_map: status %d, want 400", resp.StatusCode)
+	}
+	drainBody(resp)
+
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("session count = %d, want 1 (only the valid create)", n)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"memories/internal/obs"
 	"memories/internal/tracefile"
 	"memories/internal/workload"
+	"memories/protocols"
 )
 
 // Session modes: a session is driven either by raw trace records (the
@@ -321,13 +322,29 @@ func buildBoardConfig(req *CreateRequest) (core.Config, host.Config, int64, erro
 			return core.Config{}, host.Config{}, 0, err
 		}
 	}
-	protoName := strings.ToLower(req.Protocol)
-	if protoName == "" {
-		protoName = "mesi"
-	}
-	proto := coherence.Builtin(protoName)
-	if proto == nil {
-		return core.Config{}, host.Config{}, 0, fmt.Errorf("service: unknown protocol %q", protoName)
+	var proto *coherence.Table
+	switch {
+	case req.ProtocolMap != "":
+		// Inline map text only — never a server-side file path, which
+		// would let any API client read the server's filesystem. The
+		// full gauntlet (parse, compile, model check) runs before the
+		// table touches a board.
+		if req.Protocol != "" {
+			return core.Config{}, host.Config{}, 0, fmt.Errorf("service: protocol and protocol_map are mutually exclusive")
+		}
+		var err error
+		if proto, err = protocols.Verify(req.ProtocolMap); err != nil {
+			return core.Config{}, host.Config{}, 0, fmt.Errorf("service: protocol_map rejected: %w", err)
+		}
+	default:
+		protoName := strings.ToLower(req.Protocol)
+		if protoName == "" {
+			protoName = "mesi"
+		}
+		var err error
+		if proto, err = protocols.Load(protoName); err != nil {
+			return core.Config{}, host.Config{}, 0, fmt.Errorf("service: unknown protocol %q", protoName)
+		}
 	}
 	ncpu := req.CPUs
 	if ncpu == 0 {

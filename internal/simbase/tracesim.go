@@ -71,6 +71,7 @@ type TraceSim struct {
 
 type traceNode struct {
 	cfg   TraceNodeConfig
+	eng   *coherence.Engine // compiled protocol; lookups are branch-free
 	dir   *cache.Cache
 	stats TraceNodeStats
 }
@@ -86,14 +87,15 @@ func NewTraceSim(nodes []TraceNodeConfig) (*TraceSim, error) {
 		if nc.Protocol == nil {
 			return nil, fmt.Errorf("simbase: node %d has no protocol", i)
 		}
-		if err := nc.Protocol.Validate(); err != nil {
-			return nil, fmt.Errorf("simbase: node %d: %v", i, err)
+		eng, err := coherence.Compile(nc.Protocol)
+		if err != nil {
+			return nil, fmt.Errorf("simbase: node %d: %w", i, err)
 		}
 		dir, err := cache.New(cache.Config{Geometry: nc.Geometry, Policy: nc.Policy})
 		if err != nil {
 			return nil, fmt.Errorf("simbase: node %d: %v", i, err)
 		}
-		n := &traceNode{cfg: nc, dir: dir}
+		n := &traceNode{cfg: nc, eng: eng, dir: dir}
 		for _, id := range nc.CPUs {
 			if s.cpuOwner[id] != nil {
 				return nil, fmt.Errorf("simbase: CPU %d assigned twice", id)
@@ -205,7 +207,7 @@ func (n *traceNode) local(rec tracefile.Record, snoopIn coherence.SnoopIn) {
 		return
 	}
 	cur := coherence.State(n.dir.Access(rec.Addr))
-	e := n.cfg.Protocol.MustLookup(op, cur, snoopIn)
+	e := n.eng.Lookup(op, cur, snoopIn)
 	hit := cur.IsValid()
 	switch op {
 	case coherence.LocalRead:
@@ -244,7 +246,7 @@ func (n *traceNode) snoop(rec tracefile.Record) {
 		return
 	}
 	cur := coherence.State(n.dir.Probe(rec.Addr))
-	e := n.cfg.Protocol.MustLookup(op, cur, coherence.SnoopNone)
+	e := n.eng.Lookup(op, cur, coherence.SnoopNone)
 	n.apply(rec.Addr, cur, e)
 }
 

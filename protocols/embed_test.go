@@ -1,0 +1,91 @@
+package protocols
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNamesShipped(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("expected at least 4 shipped protocols, got %v", names)
+	}
+	for _, want := range []string{"msi", "mesi", "moesi", "write-once"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shipped protocol %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestLoadAllShipped(t *testing.T) {
+	for _, name := range Names() {
+		tab, err := Load(name)
+		if err != nil {
+			t.Errorf("Load(%q): %v", name, err)
+			continue
+		}
+		if tab.Name != name {
+			t.Errorf("Load(%q): table named %q", name, tab.Name)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("dragon"); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("Load(dragon) = %v, want unknown-protocol error", err)
+	}
+}
+
+func TestResolveNameAndPath(t *testing.T) {
+	if _, err := Resolve("MESI"); err != nil {
+		t.Fatalf("Resolve by name: %v", err)
+	}
+	src, err := Source("write-once")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "custom.map")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Resolve(path)
+	if err != nil {
+		t.Fatalf("Resolve by path: %v", err)
+	}
+	if tab.Name != "write-once" {
+		t.Fatalf("resolved table named %q", tab.Name)
+	}
+	if _, err := Resolve(filepath.Join(t.TempDir(), "absent.map")); err == nil {
+		t.Fatal("Resolve of missing file succeeded")
+	}
+}
+
+func TestVerifyRejectsIncoherentMap(t *testing.T) {
+	src, err := Source("mesi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the writeback from the dirty snoop-read downgrade: parses
+	// and looks structurally plausible, but the model checker must
+	// refuse to load it.
+	broken := strings.Replace(src,
+		"snoop-read M * -> S writeback respond-modified",
+		"snoop-read M * -> S respond-modified", 1)
+	if broken == src {
+		t.Fatal("mutation did not apply; mesi.map changed shape?")
+	}
+	if _, err := Verify(broken); err == nil {
+		t.Fatal("Verify accepted an incoherent protocol")
+	}
+	if _, err := Verify("not a map file"); err == nil {
+		t.Fatal("Verify accepted junk")
+	}
+}
